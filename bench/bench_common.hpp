@@ -1,0 +1,64 @@
+// Shared harness for the reproduction benches: every bench_fig*/table*
+// binary runs the same deterministic paper-scale campaign, matches it
+// with all three strategies, and prints its table/figure from the result.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "pandarus.hpp"
+
+namespace pandarus::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 20250401;
+
+struct Context {
+  scenario::ScenarioResult result;
+  core::TriMatchResult tri;
+};
+
+/// Runs the standard 8-day paper-scale campaign (override the seed with
+/// argv[1] or PANDARUS_SEED) and links jobs to transfers with all three
+/// strategies.
+inline Context run_paper_campaign(int argc, char** argv,
+                                  double days_override = 0.0) {
+  scenario::ScenarioConfig config = scenario::ScenarioConfig::paper_scale();
+  config.seed = kDefaultSeed;
+  if (const char* env = std::getenv("PANDARUS_SEED")) {
+    config.seed = std::strtoull(env, nullptr, 10);
+  }
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  if (days_override > 0.0) config.days = days_override;
+
+  Context ctx{scenario::run_campaign(config), {}};
+  const core::Matcher matcher(ctx.result.store);
+  ctx.tri = core::run_all_methods(matcher);
+  return ctx;
+}
+
+/// Prints the standard bench banner: which paper artefact this binary
+/// regenerates and what the paper reported (for eyeball comparison).
+inline void banner(const std::string& artefact,
+                   const std::string& paper_says) {
+  std::cout << "================================================================\n"
+            << "Reproduces: " << artefact << "\n"
+            << "Paper:      " << paper_says << "\n"
+            << "================================================================\n";
+}
+
+inline void campaign_line(const Context& ctx) {
+  std::cout << "[campaign] " << ctx.result.workload.user_jobs
+            << " user jobs, " << ctx.result.workload.prod_jobs
+            << " production jobs, "
+            << ctx.result.store.counts().transfers << " transfer events ("
+            << util::format_bytes(
+                   static_cast<double>(ctx.result.transfers.bytes_moved))
+            << " moved) over "
+            << util::to_days(ctx.result.window_end -
+                             ctx.result.window_begin)
+            << " simulated days\n\n";
+}
+
+}  // namespace pandarus::bench

@@ -1,0 +1,65 @@
+// Figure 12 / Table 3 case study: an RM2-matched job whose files were
+// transferred twice, with the UNKNOWN destination of one set recovered
+// by byte-exact size pairing.
+//
+// Paper: pandaid 6585617863 — transfers 0-2 (job-triggered, destination
+// recorded UNKNOWN due to a retrieval error) duplicate transfers 3-5
+// (pre-creation, CERN-PROD -> CERN-PROD); identical sizes pair them up,
+// inferring UNKNOWN = CERN-PROD and exposing avoidable redundancy.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pandarus;
+  bench::banner("Fig. 12 / Table 3 - RM2-matched job with redundant "
+                "transfers and inferable UNKNOWN endpoint",
+                "duplicate file set; UNKNOWN destination inferred from "
+                "byte-exact sizes; redundancy 'in principle avoidable'");
+  const bench::Context ctx = bench::run_paper_campaign(argc, argv);
+  bench::campaign_line(ctx);
+
+  const analysis::CaseStudyExtractor extractor(ctx.result.store, ctx.tri);
+  const auto cs = extractor.rm2_redundant_case();
+  if (!cs) {
+    std::cout << "No matching case in this campaign (try another seed).\n";
+    return 0;
+  }
+
+  const auto& job = ctx.result.store.jobs()[cs->match.job_index];
+  std::cout << analysis::render_timeline(ctx.result.store, cs->match)
+            << "\nTransfer summary (Table 3 analogue):\n";
+  std::cout << analysis::render_transfer_table(ctx.result.store,
+                                               ctx.result.topology,
+                                               cs->match);
+
+  std::cout << "\nInferred sites (RM2 metadata reconstruction):\n";
+  for (const auto& inf : cs->inferred_sites) {
+    const auto& t = ctx.result.store.transfers()[inf.transfer_index];
+    std::cout << "  transfer " << t.transfer_id
+              << ": UNKNOWN destination inferred = "
+              << ctx.result.topology.site_name(inf.inferred_destination)
+              << " (evidence: transfer "
+              << ctx.result.store.transfers()[inf.evidence_index].transfer_id
+              << " with identical size "
+              << util::format_count(std::uint64_t{t.file_size}) << " B)\n";
+  }
+
+  std::uint64_t wasted = 0;
+  for (const auto& group : cs->redundant) wasted += group.wasted_bytes();
+  std::cout << "\nRedundant transfer groups: " << cs->redundant.size()
+            << ", avoidable volume "
+            << util::format_bytes(static_cast<double>(wasted)) << "\n";
+  std::cout << "Job outcome: " << (job.failed ? "FAILED" : "successful")
+            << " (paper's case was successful)\n";
+
+  // Grid-wide view: how much avoidable duplicate traffic exists overall?
+  // A 6-hour window separates genuine waste (re-delivery while the first
+  // copy should still be on disk) from lifetime-expiry churn.
+  const auto global =
+      core::scan_global_redundancy(ctx.result.store, util::hours(6));
+  std::cout << "\nCampaign-wide redundancy (re-delivery within 6h): "
+            << global.redundant_transfers << " duplicate deliveries in "
+            << global.groups << " groups, "
+            << util::format_bytes(static_cast<double>(global.wasted_bytes))
+            << " avoidable.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 2: total ATLAS volume managed by Rucio, 2009-2024, approaching
+// 1 exabyte by mid-2024 and more than doubling since 2018.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pandarus;
+  bench::banner(
+      "Fig. 2 - cumulative data volume managed by the DMS, 2009-2024",
+      "~1 EB by mid-2024; more than doubled since 2018");
+
+  const auto years = analysis::simulate_volume_growth();
+  util::Table table({"Year", "Run phase", "Ingest (PB)", "Deleted (PB)",
+                     "Cumulative (PB)", "Bar"});
+  for (std::size_t c = 2; c <= 4; ++c) table.set_align(c, util::Align::kRight);
+  double v2018 = 0.0;
+  for (const auto& y : years) {
+    if (y.year == 2018) v2018 = y.total_pb;
+    const auto bar_width = static_cast<std::size_t>(y.total_pb / 25.0);
+    table.add_row({std::to_string(y.year),
+                   analysis::is_shutdown_year(y.year) ? "shutdown" : "run",
+                   util::format_fixed(y.added_pb, 1),
+                   util::format_fixed(y.deleted_pb, 1),
+                   util::format_fixed(y.total_pb, 1),
+                   std::string(bar_width, '#')});
+  }
+  table.print(std::cout);
+
+  const double final_pb = years.back().total_pb;
+  std::cout << "\nMeasured: " << util::format_fixed(final_pb, 1)
+            << " PB by " << years.back().year << " ("
+            << util::format_fixed(final_pb / 1000.0, 2) << " EB); "
+            << util::format_fixed(final_pb / v2018, 2)
+            << "x the 2018 volume (paper: >2x).\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Performance microbenchmarks (google-benchmark) for the library's hot
+// paths: index construction, per-method matching (serial and parallel),
+// metrics, redundancy scanning and the simulation itself.
+//
+// Motivated by the paper's §5.5: metadata volume "imposes the need for
+// efficient computing for scalability ... such as parallelization".
+#include <benchmark/benchmark.h>
+
+#include "pandarus.hpp"
+
+namespace {
+
+using namespace pandarus;
+
+const scenario::ScenarioResult& snapshot() {
+  static const scenario::ScenarioResult result = [] {
+    scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+    config.days = 1.0;
+    config.seed = 7;
+    return scenario::run_campaign(config);
+  }();
+  return result;
+}
+
+void BM_MatcherIndexBuild(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  for (auto _ : state) {
+    core::Matcher matcher(store);
+    benchmark::DoNotOptimize(&matcher);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(store.transfers().size()));
+}
+BENCHMARK(BM_MatcherIndexBuild);
+
+void BM_MatchRun(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  const core::Matcher matcher(store);
+  const auto options = core::MatchOptions::for_method(
+      static_cast<core::MatchMethod>(state.range(0)));
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    const auto result = matcher.run(options);
+    matched = result.matched_job_count();
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.jobs().size()));
+  state.counters["matched_jobs"] = static_cast<double>(matched);
+}
+BENCHMARK(BM_MatchRun)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MatchRunParallel(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  const core::Matcher matcher(store);
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const core::ParallelMatchDriver driver(matcher, pool);
+  for (auto _ : state) {
+    const auto result = driver.run(core::MatchOptions::rm2());
+    benchmark::DoNotOptimize(result.matched_job_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.jobs().size()));
+}
+BENCHMARK(BM_MatchRunParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_WindowedMatch(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  core::WindowedMatcher::Config config;
+  config.window = util::hours(static_cast<double>(state.range(0)));
+  config.lookback = util::days(2);
+  const core::WindowedMatcher matcher(store, config);
+  for (auto _ : state) {
+    const auto result = matcher.run(core::MatchOptions::rm2());
+    benchmark::DoNotOptimize(result.matched_job_count());
+  }
+  state.counters["windows"] = static_cast<double>(matcher.window_count());
+}
+BENCHMARK(BM_WindowedMatch)->Arg(2)->Arg(6)->Arg(24);
+
+void BM_DiagnoseAllJobs(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  const core::Matcher matcher(store);
+  for (auto _ : state) {
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < store.jobs().size(); ++i) {
+      matched += matcher.diagnose_job(i, core::MatchOptions::exact())
+                     .outcome == core::MatchOutcome::kMatched;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(store.jobs().size()));
+}
+BENCHMARK(BM_DiagnoseAllJobs);
+
+void BM_ComputeMetrics(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  const core::Matcher matcher(store);
+  const auto result = matcher.run(core::MatchOptions::rm2());
+  for (auto _ : state) {
+    util::SimDuration total = 0;
+    for (const auto& m : result.jobs) {
+      total += core::compute_metrics(store, m).transfer_time_in_queue;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ComputeMetrics);
+
+void BM_GlobalRedundancyScan(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::scan_global_redundancy(store));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(store.transfers().size()));
+}
+BENCHMARK(BM_GlobalRedundancyScan);
+
+void BM_HeatmapBuild(benchmark::State& state) {
+  const auto& result = snapshot();
+  for (auto _ : state) {
+    const analysis::TransferHeatmap heatmap(result.store, result.topology);
+    benchmark::DoNotOptimize(heatmap.summary().total_bytes);
+  }
+}
+BENCHMARK(BM_HeatmapBuild);
+
+void BM_CampaignSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+    config.days = 0.1;
+    config.seed = static_cast<std::uint64_t>(state.iterations());
+    const auto result = scenario::run_campaign(config);
+    benchmark::DoNotOptimize(result.events_processed);
+  }
+}
+BENCHMARK(BM_CampaignSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    for (int i = 0; i < 10'000; ++i) {
+      scheduler.schedule_at((i * 7919) % 100'000, [] {});
+    }
+    scheduler.run();
+    benchmark::DoNotOptimize(scheduler.processed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

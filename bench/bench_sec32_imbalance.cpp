@@ -1,0 +1,101 @@
+// Section 3.2: spatial and temporal imbalance of transfer activity, and
+// the error concentrations it produces.
+//
+// Paper: "the WLCG supports massive data movement across the grid, but
+// with significant spatial and temporal imbalance.  While each system
+// achieves its separate design goals, these transfer patterns expose
+// system vulnerability and increase the likelihood of errors at network
+// and storage hot spots."
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pandarus;
+  bench::banner("Section 3.2 - spatial/temporal imbalance and hot-spot "
+                "errors",
+                "extremely imbalanced site activity (mean >> geomean in "
+                "Fig. 3); errors concentrate at hot spots");
+  const bench::Context ctx = bench::run_paper_campaign(argc, argv);
+  bench::campaign_line(ctx);
+
+  // --- spatial --------------------------------------------------------
+  const auto spatial =
+      analysis::spatial_imbalance(ctx.result.store, ctx.result.topology);
+  std::cout << "Spatial imbalance over " << spatial.sites.size()
+            << " sites:\n";
+  std::cout << "  Gini(byte volume) = "
+            << util::format_fixed(spatial.gini_bytes, 3)
+            << ", Gini(job count) = "
+            << util::format_fixed(spatial.gini_jobs, 3) << "\n";
+  std::cout << "  top-1 site carries "
+            << util::format_percent(spatial.top1_byte_share)
+            << " of all bytes; top-5 carry "
+            << util::format_percent(spatial.top5_byte_share) << "\n\n";
+
+  util::Table table({"Site", "Tier", "Bytes in", "Bytes out", "Jobs",
+                     "Failure rate"});
+  for (std::size_t c = 2; c <= 5; ++c) table.set_align(c, util::Align::kRight);
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, spatial.sites.size());
+       ++i) {
+    const auto& s = spatial.sites[i];
+    table.add_row(
+        {std::string(ctx.result.topology.site_name(s.site)),
+         grid::tier_name(ctx.result.topology.site(s.site).tier),
+         util::format_bytes(static_cast<double>(s.bytes_in)),
+         util::format_bytes(static_cast<double>(s.bytes_out)),
+         util::format_count(s.jobs), util::format_percent(s.failure_rate())});
+  }
+  table.print(std::cout);
+
+  // Hot-spot error concentration: failure rate at the 5 busiest sites vs
+  // everywhere else.
+  std::uint64_t hot_jobs = 0;
+  std::uint64_t hot_failed = 0;
+  std::uint64_t cold_jobs = 0;
+  std::uint64_t cold_failed = 0;
+  for (std::size_t i = 0; i < spatial.sites.size(); ++i) {
+    const auto& s = spatial.sites[i];
+    if (i < 5) {
+      hot_jobs += s.jobs;
+      hot_failed += s.failed_jobs;
+    } else {
+      cold_jobs += s.jobs;
+      cold_failed += s.failed_jobs;
+    }
+  }
+  const double hot_rate =
+      hot_jobs ? static_cast<double>(hot_failed) / static_cast<double>(hot_jobs) : 0.0;
+  const double cold_rate =
+      cold_jobs ? static_cast<double>(cold_failed) / static_cast<double>(cold_jobs)
+                : 0.0;
+  std::cout << "\nFailure rate at the 5 busiest sites: "
+            << util::format_percent(hot_rate) << " vs elsewhere: "
+            << util::format_percent(cold_rate) << "\n";
+
+  // --- temporal -------------------------------------------------------
+  const auto temporal =
+      analysis::temporal_imbalance(ctx.result.store, util::hours(6));
+  std::cout << "\nTemporal imbalance (6-hour bins): peak "
+            << util::format_bytes(temporal.peak_bytes) << ", mean "
+            << util::format_bytes(temporal.mean_bytes)
+            << ", peak/mean = "
+            << util::format_fixed(temporal.peak_to_mean(), 2) << "\n";
+  double peak = temporal.peak_bytes > 0 ? temporal.peak_bytes : 1.0;
+  for (const auto& p : temporal.series) {
+    const auto width =
+        static_cast<std::size_t>(p.bytes / peak * 50.0);
+    std::cout << "  " << util::format_time(p.bin_start) << " |"
+              << std::string(width, '#') << " "
+              << util::format_bytes(p.bytes) << "\n";
+  }
+
+  // --- error distribution ----------------------------------------------
+  const auto errors = analysis::error_distribution(ctx.result.store);
+  std::cout << "\nJob error distribution (" << errors.total_failed
+            << " failed of " << errors.total_jobs << " jobs):\n";
+  for (const auto& [code, count] : errors.by_code) {
+    std::cout << "  " << code << " (" << wms::errors::message(code)
+              << "): " << count << " ("
+              << util::format_percent(errors.share(code)) << ")\n";
+  }
+  return 0;
+}

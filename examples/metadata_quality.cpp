@@ -1,0 +1,111 @@
+// Metadata-quality study: the paper's central obstacle as an experiment.
+//
+// The same simulated campaign is re-analyzed under increasing metadata
+// corruption.  Because corruption is injected *after* the simulation,
+// the underlying ground truth is identical in every column — only the
+// recorded metadata degrades — so the sweep isolates exactly how data
+// quality drives the exact/RM1/RM2 coverage gap (§4.3, §5.5: "any future
+// systematic and scalable analysis ... will be especially valuable once
+// data quality improves").
+//
+//   ./metadata_quality [seed]
+#include <iostream>
+
+#include "pandarus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pandarus;
+
+  std::uint64_t seed = 20250401;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+
+  const double scales[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+
+  util::Table table({"Corruption x", "Exact jobs", "RM1 jobs", "RM2 jobs",
+                     "Exact xfers", "RM2 xfers", "RM2/Exact",
+                     "Unknown dst"});
+  for (std::size_t c = 1; c <= 7; ++c) table.set_align(c, util::Align::kRight);
+
+  std::cout << "Re-running the 2-day campaign under corruption scales "
+               "{0, 0.5, 1, 2, 4} (seed "
+            << seed << ") ...\n\n";
+
+  for (double scale : scales) {
+    scenario::ScenarioConfig config = scenario::ScenarioConfig::paper_scale();
+    config.days = 2.0;
+    config.seed = seed;
+    config.apply_corruption = scale > 0.0;
+    auto& c = config.corruption;
+    c.p_drop_transfer_taskid = std::min(1.0, c.p_drop_transfer_taskid * scale);
+    c.p_unknown_source = std::min(1.0, c.p_unknown_source * scale);
+    c.p_unknown_destination =
+        std::min(1.0, c.p_unknown_destination * scale);
+    c.p_size_jitter = std::min(1.0, c.p_size_jitter * scale);
+    c.p_drop_file_record = std::min(1.0, c.p_drop_file_record * scale);
+    c.p_drop_job_record = std::min(1.0, c.p_drop_job_record * scale);
+    c.p_size_jitter_bad_site =
+        std::min(1.0, c.p_size_jitter_bad_site * scale);
+    c.p_unknown_endpoint_bad_site_tasked =
+        std::min(1.0, c.p_unknown_endpoint_bad_site_tasked * scale);
+    c.p_unknown_endpoint_bad_site_anonymous =
+        std::min(1.0, c.p_unknown_endpoint_bad_site_anonymous * scale);
+
+    const auto result = scenario::run_campaign(config);
+    const core::Matcher matcher(result.store);
+    const auto tri = core::run_all_methods(matcher);
+
+    const double ratio =
+        tri.exact.matched_job_count() > 0
+            ? static_cast<double>(tri.rm2.matched_job_count()) /
+                  static_cast<double>(tri.exact.matched_job_count())
+            : 0.0;
+    table.add_row(
+        {util::format_fixed(scale, 1),
+         util::format_count(std::uint64_t{tri.exact.matched_job_count()}),
+         util::format_count(std::uint64_t{tri.rm1.matched_job_count()}),
+         util::format_count(std::uint64_t{tri.rm2.matched_job_count()}),
+         util::format_count(std::uint64_t{tri.exact.matched_transfer_count()}),
+         util::format_count(std::uint64_t{tri.rm2.matched_transfer_count()}),
+         util::format_fixed(ratio, 2),
+         util::format_count(
+             result.corruption.transfers_destination_unknown)});
+  }
+  table.print(std::cout);
+
+  // Why don't jobs match?  Diagnose the exact pipeline at baseline
+  // corruption: the stage at which each unmatched job was eliminated.
+  {
+    scenario::ScenarioConfig config = scenario::ScenarioConfig::paper_scale();
+    config.days = 2.0;
+    config.seed = seed;
+    const auto result = scenario::run_campaign(config);
+    const core::Matcher matcher(result.store);
+    std::array<std::size_t, core::kMatchOutcomeCount> outcomes{};
+    for (std::size_t i = 0; i < result.store.jobs().size(); ++i) {
+      const auto d = matcher.diagnose_job(i, core::MatchOptions::exact());
+      ++outcomes[static_cast<std::size_t>(d.outcome)];
+    }
+    std::cout << "\nExact-pipeline diagnosis at baseline corruption ("
+              << result.store.jobs().size() << " jobs):\n";
+    for (std::size_t o = 0; o < core::kMatchOutcomeCount; ++o) {
+      const double share =
+          result.store.jobs().empty()
+              ? 0.0
+              : static_cast<double>(outcomes[o]) /
+                    static_cast<double>(result.store.jobs().size());
+      std::cout << "  " << core::match_outcome_name(
+                       static_cast<core::MatchOutcome>(o))
+                << ": " << outcomes[o] << " ("
+                << util::format_percent(share) << ")\n";
+    }
+  }
+
+  std::cout <<
+      "\nReading: with pristine metadata (x0) exact matching approaches\n"
+      "RM1/RM2 — the relaxations only pay off when records are damaged.\n"
+      "As corruption grows, exact coverage collapses first (byte-exact\n"
+      "size checks break), RM1 degrades more slowly (it only needs the\n"
+      "attribute match and site labels), and the RM2/Exact ratio widens —\n"
+      "the paper's Tables 1-2 sit at the x1.0 row of this sweep.\n";
+  return 0;
+}

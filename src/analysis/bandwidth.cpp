@@ -1,0 +1,136 @@
+#include "analysis/bandwidth.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pandarus::analysis {
+namespace {
+
+/// Iterates the transfer indices of interest: either the matched set or
+/// every successful transfer in the store.
+template <typename Fn>
+void for_each_transfer(const telemetry::MetadataStore& store,
+                       const core::MatchResult* matched, Fn&& fn) {
+  if (matched != nullptr) {
+    for (const core::MatchedJob& m : matched->jobs) {
+      for (std::size_t ti : m.transfer_indices) fn(ti);
+    }
+  } else {
+    for (std::size_t ti = 0; ti < store.transfers().size(); ++ti) fn(ti);
+  }
+}
+
+}  // namespace
+
+std::vector<SeriesPoint> bandwidth_series(
+    const telemetry::MetadataStore& store, const core::MatchResult* matched,
+    grid::SiteId src, grid::SiteId dst, util::SimDuration bin) {
+  util::SimTime lo = util::kNever;
+  util::SimTime hi = 0;
+  std::vector<std::size_t> selected;
+  // Matched sets can contain one transfer under several jobs; dedupe so
+  // a shared staging transfer is not double-counted.
+  for_each_transfer(store, matched, [&](std::size_t ti) {
+    const telemetry::TransferRecord& t = store.transfers()[ti];
+    if (!t.success || t.source_site != src || t.destination_site != dst) {
+      return;
+    }
+    selected.push_back(ti);
+  });
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+  for (std::size_t ti : selected) {
+    const telemetry::TransferRecord& t = store.transfers()[ti];
+    lo = std::min(lo, t.started_at);
+    hi = std::max(hi, t.finished_at);
+  }
+  if (selected.empty() || hi <= lo || bin <= 0) return {};
+
+  const util::SimTime start = (lo / bin) * bin;
+  const auto n_bins =
+      static_cast<std::size_t>((hi - start + bin - 1) / bin);
+  std::vector<double> bytes(n_bins, 0.0);
+  for (std::size_t ti : selected) {
+    const telemetry::TransferRecord& t = store.transfers()[ti];
+    const util::SimDuration dur = t.finished_at - t.started_at;
+    if (dur <= 0) continue;
+    const double rate =
+        static_cast<double>(t.file_size) / static_cast<double>(dur);
+    for (util::SimTime at = t.started_at; at < t.finished_at;) {
+      const auto b = static_cast<std::size_t>((at - start) / bin);
+      const util::SimTime bin_end = start + static_cast<util::SimTime>(b + 1) * bin;
+      const util::SimTime seg_end = std::min(bin_end, t.finished_at);
+      bytes[b] += rate * static_cast<double>(seg_end - at);
+      at = seg_end;
+    }
+  }
+
+  std::vector<SeriesPoint> series;
+  series.reserve(n_bins);
+  const double bin_secs = util::to_seconds(bin);
+  for (std::size_t b = 0; b < n_bins; ++b) {
+    series.push_back({start + static_cast<util::SimTime>(b) * bin,
+                      bytes[b] / bin_secs / 1e6});
+  }
+  // Trim empty edges for readable plots.
+  while (!series.empty() && series.front().mbps == 0.0) {
+    series.erase(series.begin());
+  }
+  while (!series.empty() && series.back().mbps == 0.0) series.pop_back();
+  return series;
+}
+
+std::vector<PairVolume> top_matched_pairs(const telemetry::MetadataStore& store,
+                                          const core::MatchResult& matched,
+                                          bool local, std::size_t k) {
+  std::map<std::pair<grid::SiteId, grid::SiteId>, PairVolume> acc;
+  std::vector<std::size_t> seen;
+  for_each_transfer(store, &matched, [&](std::size_t ti) {
+    seen.push_back(ti);
+  });
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+
+  for (std::size_t ti : seen) {
+    const telemetry::TransferRecord& t = store.transfers()[ti];
+    if (!t.success) continue;
+    if (t.source_site == grid::kUnknownSite ||
+        t.destination_site == grid::kUnknownSite) {
+      continue;
+    }
+    const bool is_local = t.source_site == t.destination_site;
+    if (is_local != local) continue;
+    PairVolume& pv = acc[{t.source_site, t.destination_site}];
+    pv.src = t.source_site;
+    pv.dst = t.destination_site;
+    pv.bytes += t.file_size;
+    ++pv.transfers;
+  }
+
+  std::vector<PairVolume> out;
+  out.reserve(acc.size());
+  for (const auto& [key, pv] : acc) out.push_back(pv);
+  std::sort(out.begin(), out.end(), [](const PairVolume& a,
+                                       const PairVolume& b) {
+    return a.bytes > b.bytes;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+SeriesStats series_stats(std::span<const SeriesPoint> series) {
+  SeriesStats s;
+  double sum = 0.0;
+  for (const SeriesPoint& p : series) {
+    if (p.mbps <= 0.0) continue;
+    ++s.active_bins;
+    sum += p.mbps;
+    s.peak_mbps = std::max(s.peak_mbps, p.mbps);
+  }
+  s.mean_mbps = s.active_bins > 0 ? sum / static_cast<double>(s.active_bins)
+                                  : 0.0;
+  return s;
+}
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,56 @@
+// Bandwidth-usage time series (paper Figs. 7 and 8).
+//
+// The paper plots "accumulated bandwidth usage of matched transfers"
+// over time at selected remote site pairs and local sites.  Each
+// transfer's bytes are spread uniformly over its [start, finish)
+// interval and accumulated into fixed-width bins; the resulting MBps
+// series exhibits the fluctuation and asymmetry the paper reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/match_types.hpp"
+#include "grid/topology.hpp"
+
+namespace pandarus::analysis {
+
+struct SeriesPoint {
+  util::SimTime bin_start = 0;
+  double mbps = 0.0;
+};
+
+struct PairVolume {
+  grid::SiteId src = grid::kUnknownSite;
+  grid::SiteId dst = grid::kUnknownSite;
+  std::uint64_t bytes = 0;
+  std::size_t transfers = 0;
+};
+
+/// Bandwidth series for transfers between (src, dst), restricted to the
+/// matched transfer set when `matched` is non-null (pass nullptr for all
+/// successful transfers).  Bins of width `bin` cover the span of the
+/// contributing transfers; empty leading/trailing bins are trimmed.
+[[nodiscard]] std::vector<SeriesPoint> bandwidth_series(
+    const telemetry::MetadataStore& store, const core::MatchResult* matched,
+    grid::SiteId src, grid::SiteId dst, util::SimDuration bin);
+
+/// The k (src, dst) pairs with the most matched bytes; `local` selects
+/// diagonal (src == dst) or off-diagonal pairs.  Used to pick the six
+/// links shown in each of Figs. 7/8.
+[[nodiscard]] std::vector<PairVolume> top_matched_pairs(
+    const telemetry::MetadataStore& store, const core::MatchResult& matched,
+    bool local, std::size_t k);
+
+struct SeriesStats {
+  double peak_mbps = 0.0;
+  double mean_mbps = 0.0;  ///< over non-empty bins
+  std::size_t active_bins = 0;
+  /// Peak over mean: the fluctuation measure the figures illustrate.
+  [[nodiscard]] double burstiness() const noexcept {
+    return mean_mbps > 0.0 ? peak_mbps / mean_mbps : 0.0;
+  }
+};
+[[nodiscard]] SeriesStats series_stats(std::span<const SeriesPoint> series);
+
+}  // namespace pandarus::analysis

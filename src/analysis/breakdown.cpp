@@ -1,0 +1,78 @@
+#include "analysis/breakdown.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace pandarus::analysis {
+
+std::vector<BreakdownRow> build_breakdown(
+    const telemetry::MetadataStore& store, const core::MatchResult& result) {
+  std::vector<BreakdownRow> rows;
+  rows.reserve(result.jobs.size());
+  for (const core::MatchedJob& match : result.jobs) {
+    const telemetry::JobRecord& job = store.jobs()[match.job_index];
+    const core::JobTransferMetrics metrics =
+        core::compute_metrics(store, match);
+    BreakdownRow row;
+    row.job_index = match.job_index;
+    row.pandaid = job.pandaid;
+    row.locality = match.locality();
+    row.queuing_time = metrics.queuing_time;
+    row.transfer_time_in_queue = metrics.transfer_time_in_queue;
+    row.queue_fraction = metrics.queue_fraction();
+    row.transferred_bytes = metrics.transferred_bytes;
+    row.transfer_count = match.transfer_indices.size();
+    row.job_failed = job.failed;
+    row.task_failed = job.task_status == wms::TaskStatus::kFailed;
+    row.transfer_spans_execution = metrics.transfer_spans_execution;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<BreakdownRow> top_by_queuing(std::span<const BreakdownRow> rows,
+                                         core::LocalityClass locality,
+                                         double min_fraction,
+                                         std::size_t top_n) {
+  std::vector<BreakdownRow> selected;
+  for (const BreakdownRow& row : rows) {
+    if (row.locality == locality && row.queue_fraction >= min_fraction) {
+      selected.push_back(row);
+    }
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const BreakdownRow& a, const BreakdownRow& b) {
+              return a.queuing_time > b.queuing_time;
+            });
+  if (selected.size() > top_n) selected.resize(top_n);
+  return selected;
+}
+
+BreakdownAggregates aggregate(std::span<const BreakdownRow> rows) {
+  BreakdownAggregates out;
+  util::OnlineStats mean_fraction;
+  util::GeometricMean geo_fraction;
+  std::vector<double> bytes;
+  std::vector<double> queue_ms;
+  std::vector<double> transfer_ms;
+  for (const BreakdownRow& row : rows) {
+    if (row.queue_fraction > 0.0) {
+      mean_fraction.add(row.queue_fraction);
+      geo_fraction.add(row.queue_fraction);
+    } else {
+      ++out.zero_fraction_jobs;
+    }
+    bytes.push_back(static_cast<double>(row.transferred_bytes));
+    queue_ms.push_back(static_cast<double>(row.queuing_time));
+    transfer_ms.push_back(static_cast<double>(row.transfer_time_in_queue));
+  }
+  out.mean_queue_fraction = mean_fraction.mean();
+  out.geomean_queue_fraction = geo_fraction.value();
+  out.size_queue_correlation = util::pearson_correlation(bytes, queue_ms);
+  out.size_transfer_time_correlation =
+      util::pearson_correlation(bytes, transfer_ms);
+  return out;
+}
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,59 @@
+// Queuing-time breakdowns of matched jobs (paper Figs. 5 and 6).
+//
+// For every matched job: queuing time, transfer time inside the queue
+// phase, their ratio, transferred bytes, and job/task outcome.  The
+// figure selections ("top 40 jobs with local/remote transfers that last
+// for more than 10% of the job queuing time, ordered by queuing time")
+// are provided directly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/relaxed.hpp"
+
+namespace pandarus::analysis {
+
+struct BreakdownRow {
+  std::size_t job_index = 0;
+  std::int64_t pandaid = 0;
+  core::LocalityClass locality = core::LocalityClass::kAllLocal;
+  util::SimDuration queuing_time = 0;
+  util::SimDuration transfer_time_in_queue = 0;
+  double queue_fraction = 0.0;
+  std::uint64_t transferred_bytes = 0;
+  std::size_t transfer_count = 0;
+  bool job_failed = false;
+  bool task_failed = false;
+  bool transfer_spans_execution = false;
+};
+
+/// One row per matched job.
+[[nodiscard]] std::vector<BreakdownRow> build_breakdown(
+    const telemetry::MetadataStore& store, const core::MatchResult& result);
+
+/// The Fig. 5/6 selection: rows of the given locality class whose
+/// transfer time exceeds `min_fraction` of queuing time, sorted by
+/// queuing time descending, truncated to `top_n`.
+[[nodiscard]] std::vector<BreakdownRow> top_by_queuing(
+    std::span<const BreakdownRow> rows, core::LocalityClass locality,
+    double min_fraction, std::size_t top_n);
+
+struct BreakdownAggregates {
+  /// Mean/geomean of the transfer-time share of queuing, over matched
+  /// jobs with a nonzero share (jobs whose matched transfers never
+  /// overlap their queue phase — e.g. pure Direct-IO sets — are counted
+  /// in `zero_fraction_jobs` instead of diluting the average).
+  double mean_queue_fraction = 0.0;     ///< §5.1: 8.43% in the paper
+  double geomean_queue_fraction = 0.0;  ///< §5.1: 1.942%
+  std::size_t zero_fraction_jobs = 0;
+  /// Pearson correlation between transferred bytes and queuing time
+  /// (§5.3 reports "no significant correlation").
+  double size_queue_correlation = 0.0;
+  double size_transfer_time_correlation = 0.0;
+};
+[[nodiscard]] BreakdownAggregates aggregate(
+    std::span<const BreakdownRow> rows);
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,123 @@
+#include "analysis/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace pandarus::analysis {
+
+TransferHeatmap::TransferHeatmap(const telemetry::MetadataStore& store,
+                                 const grid::Topology& topology)
+    : topology_(&topology), n_(topology.site_count() + 1) {
+  cells_.assign(n_ * n_, 0.0);
+  const std::size_t unknown = unknown_index();
+  for (const telemetry::TransferRecord& t : store.transfers()) {
+    if (!t.success) continue;
+    const std::size_t src =
+        t.source_site == grid::kUnknownSite ? unknown : t.source_site;
+    const std::size_t dst = t.destination_site == grid::kUnknownSite
+                                ? unknown
+                                : t.destination_site;
+    cells_[src * n_ + dst] += static_cast<double>(t.file_size);
+  }
+}
+
+TransferHeatmap::Summary TransferHeatmap::summary() const {
+  Summary s;
+  util::GeometricMean geomean;
+  std::unordered_set<std::size_t> active;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double v = cells_[i * n_ + j];
+      if (v <= 0.0) continue;
+      s.total_bytes += v;
+      ++s.nonzero_pairs;
+      geomean.add(v);
+      active.insert(i);
+      active.insert(j);
+      const bool unknown = i == unknown_index() || j == unknown_index();
+      if (unknown) {
+        s.unknown_bytes += v;
+      } else if (i == j) {
+        s.local_bytes += v;
+      }
+    }
+  }
+  s.active_sites = active.size();
+  const auto n_pairs = static_cast<double>(n_ * n_);
+  s.mean_pair_bytes = n_pairs > 0 ? s.total_bytes / n_pairs : 0.0;
+  s.geomean_pair_bytes = geomean.value();
+  return s;
+}
+
+std::vector<TransferHeatmap::Outlier> TransferHeatmap::top_cells(
+    std::size_t k) const {
+  std::vector<Outlier> all;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double v = cells_[i * n_ + j];
+      if (v <= 0.0) continue;
+      all.push_back({i, j, v, name_of(i), name_of(j),
+                     i == j && i != unknown_index()});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Outlier& a, const Outlier& b) {
+    return a.bytes > b.bytes;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::string TransferHeatmap::name_of(std::size_t index) const {
+  if (index == unknown_index()) return "unknown";
+  return std::string(topology_->site_name(static_cast<grid::SiteId>(index)));
+}
+
+void TransferHeatmap::write_csv(std::ostream& os) const {
+  util::CsvWriter csv(os);
+  std::vector<std::string> header{"src\\dst"};
+  for (std::size_t j = 0; j < n_; ++j) header.push_back(name_of(j));
+  csv.write_row(header);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::vector<std::string> row{name_of(i)};
+    for (std::size_t j = 0; j < n_; ++j) {
+      row.push_back(std::to_string(cells_[i * n_ + j]));
+    }
+    csv.write_row(row);
+  }
+}
+
+std::string TransferHeatmap::to_ascii(std::size_t max_sites) const {
+  // Log-scale glyph ramp; '.' = empty cell.
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const std::size_t shown = std::min(n_, max_sites);
+  double peak = 0.0;
+  for (double v : cells_) peak = std::max(peak, v);
+  std::ostringstream os;
+  os << "transfer volume heatmap (" << shown << "/" << n_
+     << " sites, '@' = " << peak << " bytes, log scale)\n";
+  for (std::size_t i = 0; i < shown; ++i) {
+    for (std::size_t j = 0; j < shown; ++j) {
+      const double v = cells_[i * n_ + j];
+      if (v <= 0.0 || peak <= 0.0) {
+        os << ' ';
+        continue;
+      }
+      // Map log(v)/log(peak) in (0,1] onto the ramp.
+      const double frac =
+          std::max(0.0, 1.0 + (std::log10(v / peak)) / 12.0);
+      const auto idx = static_cast<std::size_t>(
+          std::min(frac, 1.0) * (sizeof kRamp - 2));
+      os << kRamp[idx];
+    }
+    os << "  " << name_of(i) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,73 @@
+// Site-to-site transfer volume heatmap (paper Fig. 3).
+//
+// Cell (i, j) holds the total bytes transferred from site i to site j in
+// the window.  A pseudo-site (the last row/column) aggregates transfers
+// with an unidentified endpoint, exactly like the paper's 102nd
+// "unknown" site.  The summary reproduces the figure's headline
+// statistics: total volume, local (diagonal) share, per-pair arithmetic
+// vs geometric mean, and the >N-bytes outlier cells.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "grid/topology.hpp"
+#include "telemetry/store.hpp"
+
+namespace pandarus::analysis {
+
+class TransferHeatmap {
+ public:
+  /// Builds from every *successful* transfer in the store.
+  TransferHeatmap(const telemetry::MetadataStore& store,
+                  const grid::Topology& topology);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return n_; }
+  /// Index of the "unknown" pseudo-site (== dimension() - 1).
+  [[nodiscard]] std::size_t unknown_index() const noexcept { return n_ - 1; }
+  [[nodiscard]] double cell(std::size_t src, std::size_t dst) const {
+    return cells_.at(src * n_ + dst);
+  }
+
+  struct Summary {
+    double total_bytes = 0.0;
+    double local_bytes = 0.0;          ///< diagonal, known sites only
+    double unknown_bytes = 0.0;        ///< any unknown endpoint
+    std::size_t active_sites = 0;      ///< sites with any transfer
+    std::size_t nonzero_pairs = 0;
+    double mean_pair_bytes = 0.0;      ///< over all site pairs (incl. zero)
+    double geomean_pair_bytes = 0.0;   ///< over nonzero pairs
+    [[nodiscard]] double local_fraction() const noexcept {
+      return total_bytes > 0 ? local_bytes / total_bytes : 0.0;
+    }
+  };
+  [[nodiscard]] Summary summary() const;
+
+  struct Outlier {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    double bytes = 0.0;
+    std::string src_name;
+    std::string dst_name;
+    bool local = false;
+  };
+  /// The k largest cells, descending.
+  [[nodiscard]] std::vector<Outlier> top_cells(std::size_t k) const;
+
+  /// Writes the full matrix as CSV (header row/column of site names).
+  void write_csv(std::ostream& os) const;
+
+  /// Compact ASCII rendering: log-scaled glyph per cell, for small grids.
+  [[nodiscard]] std::string to_ascii(std::size_t max_sites = 48) const;
+
+ private:
+  [[nodiscard]] std::string name_of(std::size_t index) const;
+
+  const grid::Topology* topology_;
+  std::size_t n_ = 0;  ///< site_count + 1 (unknown pseudo-site)
+  std::vector<double> cells_;
+};
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,136 @@
+#include "analysis/imbalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace pandarus::analysis {
+
+double gini_coefficient(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::erase_if(sorted, [](double v) { return v < 0.0; });
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  double cumulative = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cumulative += sorted[i];
+    weighted += sorted[i] * static_cast<double>(i + 1);
+  }
+  if (cumulative <= 0.0) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  return (2.0 * weighted) / (n * cumulative) - (n + 1.0) / n;
+}
+
+SpatialImbalance spatial_imbalance(const telemetry::MetadataStore& store,
+                                   const grid::Topology& topology) {
+  std::vector<SiteActivity> sites(topology.site_count());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    sites[i].site = static_cast<grid::SiteId>(i);
+  }
+  for (const telemetry::TransferRecord& t : store.transfers()) {
+    if (!t.success) continue;
+    if (t.source_site != grid::kUnknownSite &&
+        t.source_site < sites.size()) {
+      sites[t.source_site].bytes_out += t.file_size;
+      ++sites[t.source_site].transfers;
+    }
+    if (t.destination_site != grid::kUnknownSite &&
+        t.destination_site < sites.size()) {
+      sites[t.destination_site].bytes_in += t.file_size;
+      if (t.destination_site != t.source_site) {
+        ++sites[t.destination_site].transfers;
+      }
+    }
+  }
+  for (const telemetry::JobRecord& j : store.jobs()) {
+    if (j.computing_site == grid::kUnknownSite ||
+        j.computing_site >= sites.size()) {
+      continue;
+    }
+    ++sites[j.computing_site].jobs;
+    if (j.failed) ++sites[j.computing_site].failed_jobs;
+  }
+
+  SpatialImbalance out;
+  std::vector<double> byte_volumes;
+  std::vector<double> job_counts;
+  double total_bytes = 0.0;
+  for (const SiteActivity& s : sites) {
+    const double volume = static_cast<double>(s.bytes_in + s.bytes_out);
+    byte_volumes.push_back(volume);
+    job_counts.push_back(static_cast<double>(s.jobs));
+    total_bytes += volume;
+  }
+  out.gini_bytes = gini_coefficient(byte_volumes);
+  out.gini_jobs = gini_coefficient(job_counts);
+
+  out.sites = std::move(sites);
+  std::sort(out.sites.begin(), out.sites.end(),
+            [](const SiteActivity& a, const SiteActivity& b) {
+              return a.bytes_in + a.bytes_out > b.bytes_in + b.bytes_out;
+            });
+  if (total_bytes > 0.0 && !out.sites.empty()) {
+    out.top1_byte_share = static_cast<double>(out.sites[0].bytes_in +
+                                              out.sites[0].bytes_out) /
+                          total_bytes;
+    double top5 = 0.0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, out.sites.size());
+         ++i) {
+      top5 += static_cast<double>(out.sites[i].bytes_in +
+                                  out.sites[i].bytes_out);
+    }
+    out.top5_byte_share = top5 / total_bytes;
+  }
+  return out;
+}
+
+TemporalImbalance temporal_imbalance(const telemetry::MetadataStore& store,
+                                     util::SimDuration bin) {
+  TemporalImbalance out;
+  if (bin <= 0) return out;
+  std::map<util::SimTime, TemporalPoint> bins;
+  for (const telemetry::TransferRecord& t : store.transfers()) {
+    if (!t.success) continue;
+    const util::SimTime start = (t.started_at / bin) * bin;
+    TemporalPoint& p = bins[start];
+    p.bin_start = start;
+    p.bytes += static_cast<double>(t.file_size);
+    ++p.transfers;
+  }
+  double total = 0.0;
+  for (const auto& [when, p] : bins) {
+    out.series.push_back(p);
+    out.peak_bytes = std::max(out.peak_bytes, p.bytes);
+    total += p.bytes;
+  }
+  out.mean_bytes =
+      out.series.empty() ? 0.0 : total / static_cast<double>(out.series.size());
+  return out;
+}
+
+ErrorDistribution error_distribution(const telemetry::MetadataStore& store,
+                                     grid::SiteId site) {
+  ErrorDistribution out;
+  for (const telemetry::JobRecord& j : store.jobs()) {
+    if (site != grid::kUnknownSite && j.computing_site != site) continue;
+    ++out.total_jobs;
+    if (!j.failed) continue;
+    ++out.total_failed;
+    ++out.by_code[j.error_code];
+  }
+  return out;
+}
+
+double error_shift(const ErrorDistribution& a, const ErrorDistribution& b) {
+  std::set<std::int32_t> codes;
+  for (const auto& [code, n] : a.by_code) codes.insert(code);
+  for (const auto& [code, n] : b.by_code) codes.insert(code);
+  double distance = 0.0;
+  for (std::int32_t code : codes) {
+    distance += std::abs(a.share(code) - b.share(code));
+  }
+  return distance;
+}
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,90 @@
+// Spatial/temporal imbalance and error-distribution analysis (paper
+// §3.2 and abstract): "the WLCG supports massive data movement across
+// the grid, but with significant spatial and temporal imbalance", and
+// uncoordinated optimization produces "underutilized resources,
+// redundant or unnecessary transfers, and altered error distributions".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "grid/topology.hpp"
+#include "telemetry/store.hpp"
+
+namespace pandarus::analysis {
+
+/// Gini coefficient of a non-negative sample: 0 = perfectly even,
+/// -> 1 = all mass on one element.  Returns 0 for empty/zero input.
+[[nodiscard]] double gini_coefficient(std::span<const double> values);
+
+struct SiteActivity {
+  grid::SiteId site = grid::kUnknownSite;
+  std::uint64_t bytes_in = 0;    ///< successful transfers arriving
+  std::uint64_t bytes_out = 0;   ///< successful transfers leaving
+  std::uint64_t transfers = 0;   ///< either endpoint
+  std::uint64_t jobs = 0;        ///< user jobs computed here
+  std::uint64_t failed_jobs = 0;
+
+  [[nodiscard]] double failure_rate() const noexcept {
+    return jobs > 0 ? static_cast<double>(failed_jobs) /
+                          static_cast<double>(jobs)
+                    : 0.0;
+  }
+};
+
+struct SpatialImbalance {
+  std::vector<SiteActivity> sites;  ///< ordered by total bytes, desc
+  double gini_bytes = 0.0;          ///< over per-site (in+out) volume
+  double gini_jobs = 0.0;           ///< over per-site job counts
+  double top1_byte_share = 0.0;
+  double top5_byte_share = 0.0;
+};
+[[nodiscard]] SpatialImbalance spatial_imbalance(
+    const telemetry::MetadataStore& store, const grid::Topology& topology);
+
+struct TemporalPoint {
+  util::SimTime bin_start = 0;
+  double bytes = 0.0;
+  std::uint64_t transfers = 0;
+};
+struct TemporalImbalance {
+  std::vector<TemporalPoint> series;
+  double peak_bytes = 0.0;
+  double mean_bytes = 0.0;  ///< over non-empty bins
+  [[nodiscard]] double peak_to_mean() const noexcept {
+    return mean_bytes > 0.0 ? peak_bytes / mean_bytes : 0.0;
+  }
+};
+/// Transferred volume per time bin (started_at attribution).
+[[nodiscard]] TemporalImbalance temporal_imbalance(
+    const telemetry::MetadataStore& store,
+    util::SimDuration bin = util::hours(6));
+
+/// Job failure counts by error code; optionally restricted to one site.
+struct ErrorDistribution {
+  std::map<std::int32_t, std::uint64_t> by_code;
+  std::uint64_t total_failed = 0;
+  std::uint64_t total_jobs = 0;
+
+  [[nodiscard]] double share(std::int32_t code) const {
+    auto it = by_code.find(code);
+    return total_failed > 0 && it != by_code.end()
+               ? static_cast<double>(it->second) /
+                     static_cast<double>(total_failed)
+               : 0.0;
+  }
+};
+[[nodiscard]] ErrorDistribution error_distribution(
+    const telemetry::MetadataStore& store,
+    grid::SiteId site = grid::kUnknownSite /* = all sites */);
+
+/// L1 distance between two error distributions' code shares in [0, 2]:
+/// the "altered error distributions" measure used to compare brokerage
+/// policies or site populations.
+[[nodiscard]] double error_shift(const ErrorDistribution& a,
+                                 const ErrorDistribution& b);
+
+}  // namespace pandarus::analysis

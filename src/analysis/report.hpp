@@ -1,0 +1,34 @@
+// Campaign report: one call assembling every analysis artefact of the
+// paper's evaluation into a single human-readable document — §5.1's
+// summary, Tables 1/2, the Fig. 5/6 selections, Fig. 9's sweep, the
+// three case studies, imbalance and anomaly sections.
+//
+// This is the "operator view" a production deployment of the matching
+// framework would publish per observation window.
+#pragma once
+
+#include <iosfwd>
+
+#include "analysis/casestudy.hpp"
+#include "analysis/summary.hpp"
+#include "core/anomaly.hpp"
+
+namespace pandarus::analysis {
+
+struct ReportOptions {
+  std::size_t top_jobs = 10;          ///< rows in the Fig. 5/6 sections
+  bool include_case_studies = true;   ///< timelines are verbose
+  bool include_anomalies = true;
+  bool include_imbalance = true;
+  double anomaly_queue_share_threshold = 0.75;
+};
+
+/// Writes the full report to `os`.  The store must outlive the call; the
+/// topology provides site names.
+void write_campaign_report(std::ostream& os,
+                           const telemetry::MetadataStore& store,
+                           const grid::Topology& topology,
+                           const core::TriMatchResult& tri,
+                           const ReportOptions& options = {});
+
+}  // namespace pandarus::analysis

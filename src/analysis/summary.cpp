@@ -1,0 +1,191 @@
+#include "analysis/summary.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+namespace pandarus::analysis {
+namespace {
+
+/// Unique matched transfer indices, restricted to events carrying a
+/// jeditaskid — the population the paper's transfer-side counts use
+/// ("30,380 transfers with jeditaskid were successfully linked").
+std::vector<std::size_t> unique_matched_with_taskid(
+    const telemetry::MetadataStore& store, const core::MatchResult& result) {
+  std::vector<std::size_t> indices;
+  for (const core::MatchedJob& m : result.jobs) {
+    for (std::size_t ti : m.transfer_indices) {
+      if (store.transfers()[ti].has_jeditaskid()) indices.push_back(ti);
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
+}  // namespace
+
+OverallSummary overall_summary(const telemetry::MetadataStore& store,
+                               const core::MatchResult& exact) {
+  OverallSummary s;
+  const auto counts = store.counts();
+  s.total_jobs = counts.jobs;
+  s.total_transfers = counts.transfers;
+  s.transfers_with_taskid = counts.transfers_with_taskid;
+  s.matched_transfers = unique_matched_with_taskid(store, exact).size();
+  s.matched_jobs = exact.matched_job_count();
+  s.matched_transfer_pct =
+      s.transfers_with_taskid > 0
+          ? static_cast<double>(s.matched_transfers) /
+                static_cast<double>(s.transfers_with_taskid)
+          : 0.0;
+  s.matched_job_pct = s.total_jobs > 0
+                          ? static_cast<double>(s.matched_jobs) /
+                                static_cast<double>(s.total_jobs)
+                          : 0.0;
+  const auto rows = build_breakdown(store, exact);
+  const auto agg = aggregate(rows);
+  s.mean_queue_fraction = agg.mean_queue_fraction;
+  s.geomean_queue_fraction = agg.geomean_queue_fraction;
+  return s;
+}
+
+ActivityBreakdown activity_breakdown(const telemetry::MetadataStore& store,
+                                     const core::MatchResult& result) {
+  ActivityBreakdown b;
+  for (std::size_t a = 0; a < dms::kActivityCount; ++a) {
+    b.rows[a].activity = static_cast<dms::Activity>(a);
+  }
+  for (const telemetry::TransferRecord& t : store.transfers()) {
+    if (!t.has_jeditaskid()) continue;
+    ++b.rows[static_cast<std::size_t>(t.activity)].total;
+    ++b.taskid_total;
+  }
+  for (std::size_t ti : unique_matched_with_taskid(store, result)) {
+    const telemetry::TransferRecord& t = store.transfers()[ti];
+    ++b.rows[static_cast<std::size_t>(t.activity)].matched;
+    ++b.matched_total;
+  }
+  return b;
+}
+
+MethodComparison compare_methods(const telemetry::MetadataStore& store,
+                                 const core::TriMatchResult& tri) {
+  MethodComparison c;
+  const auto counts = store.counts();
+  const core::MatchMethod methods[] = {core::MatchMethod::kExact,
+                                       core::MatchMethod::kRM1,
+                                       core::MatchMethod::kRM2};
+  for (std::size_t m = 0; m < 3; ++m) {
+    const core::MatchResult& result = tri.by_method(methods[m]);
+
+    MethodTransferRow& tr = c.transfers[m];
+    tr.method = methods[m];
+    for (std::size_t ti : unique_matched_with_taskid(store, result)) {
+      if (store.transfers()[ti].is_local()) {
+        ++tr.local;
+      } else {
+        ++tr.remote;
+      }
+    }
+    tr.matched_pct = counts.transfers_with_taskid > 0
+                         ? static_cast<double>(tr.total()) /
+                               static_cast<double>(counts.transfers_with_taskid)
+                         : 0.0;
+
+    MethodJobRow& jr = c.jobs[m];
+    jr.method = methods[m];
+    for (const core::MatchedJob& match : result.jobs) {
+      switch (match.locality()) {
+        case core::LocalityClass::kAllLocal: ++jr.all_local; break;
+        case core::LocalityClass::kAllRemote: ++jr.all_remote; break;
+        case core::LocalityClass::kMixed: ++jr.mixed; break;
+      }
+    }
+    jr.matched_pct = counts.jobs > 0
+                         ? static_cast<double>(jr.total()) /
+                               static_cast<double>(counts.jobs)
+                         : 0.0;
+  }
+  return c;
+}
+
+void print_overall(std::ostream& os, const OverallSummary& s) {
+  os << "Collected " << util::format_count(std::uint64_t{s.total_jobs})
+     << " user jobs and "
+     << util::format_count(std::uint64_t{s.total_transfers})
+     << " file-level transfer events; "
+     << util::format_count(std::uint64_t{s.transfers_with_taskid})
+     << " transfers carry a valid jeditaskid.\n";
+  os << "Exact matching linked "
+     << util::format_count(std::uint64_t{s.matched_transfers})
+     << " transfers (" << util::format_percent(s.matched_transfer_pct)
+     << " of transfers with jeditaskid) and "
+     << util::format_count(std::uint64_t{s.matched_jobs}) << " jobs ("
+     << util::format_percent(s.matched_job_pct) << " of user jobs).\n";
+  os << "Transfer time during job queuing: mean "
+     << util::format_percent(s.mean_queue_fraction) << ", geometric mean "
+     << util::format_percent(s.geomean_queue_fraction, 3) << ".\n";
+}
+
+void print_table1(std::ostream& os, const ActivityBreakdown& b) {
+  util::Table table({"Transfer activity type", "Matched count",
+                     "Total count", "Percentage"});
+  for (std::size_t col = 1; col <= 3; ++col) {
+    table.set_align(col, util::Align::kRight);
+  }
+  for (const ActivityRow& row : b.rows) {
+    if (row.total == 0 && row.matched == 0) continue;
+    table.add_row({dms::activity_name(row.activity),
+                   util::format_count(std::uint64_t{row.matched}),
+                   util::format_count(std::uint64_t{row.total}),
+                   util::format_percent(row.percentage())});
+  }
+  table.add_separator();
+  const double pct = b.taskid_total > 0
+                         ? static_cast<double>(b.matched_total) /
+                               static_cast<double>(b.taskid_total)
+                         : 0.0;
+  table.add_row({"Total", util::format_count(std::uint64_t{b.matched_total}),
+                 util::format_count(std::uint64_t{b.taskid_total}),
+                 util::format_percent(pct)});
+  table.print(os);
+}
+
+void print_table2(std::ostream& os, const MethodComparison& c) {
+  os << "(a) Matched transfers count\n";
+  util::Table ta({"Matching method", "Local transfer", "Remote transfer",
+                  "Total transfer", "Total matched %"});
+  for (std::size_t col = 1; col <= 4; ++col) {
+    ta.set_align(col, util::Align::kRight);
+  }
+  for (const MethodTransferRow& row : c.transfers) {
+    ta.add_row({core::method_name(row.method),
+                util::format_count(std::uint64_t{row.local}),
+                util::format_count(std::uint64_t{row.remote}),
+                util::format_count(std::uint64_t{row.total()}),
+                util::format_percent(row.matched_pct)});
+  }
+  ta.print(os);
+
+  os << "(b) Matched job count\n";
+  util::Table tb({"Matching method", "Jobs all local", "Jobs all remote",
+                  "Jobs mixed", "Total jobs", "Total matched %"});
+  for (std::size_t col = 1; col <= 5; ++col) {
+    tb.set_align(col, util::Align::kRight);
+  }
+  for (const MethodJobRow& row : c.jobs) {
+    tb.add_row({core::method_name(row.method),
+                util::format_count(std::uint64_t{row.all_local}),
+                util::format_count(std::uint64_t{row.all_remote}),
+                util::format_count(std::uint64_t{row.mixed}),
+                util::format_count(std::uint64_t{row.total()}),
+                util::format_percent(row.matched_pct)});
+  }
+  tb.print(os);
+}
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,82 @@
+// Match-result summaries: the paper's §5.1 headline numbers, Table 1
+// (activity breakdown of exact-matched transfers) and Tables 2a/2b
+// (matched transfer/job counts by method).
+#pragma once
+
+#include <array>
+#include <iosfwd>
+
+#include "analysis/breakdown.hpp"
+#include "core/relaxed.hpp"
+
+namespace pandarus::analysis {
+
+/// §5.1 overall statistics.
+struct OverallSummary {
+  std::size_t total_jobs = 0;
+  std::size_t total_transfers = 0;
+  std::size_t transfers_with_taskid = 0;
+  std::size_t matched_transfers = 0;  ///< exact method
+  std::size_t matched_jobs = 0;
+  double matched_transfer_pct = 0.0;  ///< of transfers with jeditaskid
+  double matched_job_pct = 0.0;
+  double mean_queue_fraction = 0.0;
+  double geomean_queue_fraction = 0.0;
+};
+[[nodiscard]] OverallSummary overall_summary(
+    const telemetry::MetadataStore& store, const core::MatchResult& exact);
+
+/// Table 1: per-activity matched/total counts over transfers that carry
+/// a jeditaskid.
+struct ActivityRow {
+  dms::Activity activity = dms::Activity::kAnalysisDownload;
+  std::size_t matched = 0;
+  std::size_t total = 0;
+  [[nodiscard]] double percentage() const noexcept {
+    return total > 0 ? static_cast<double>(matched) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+struct ActivityBreakdown {
+  std::array<ActivityRow, dms::kActivityCount> rows{};
+  std::size_t matched_total = 0;
+  std::size_t taskid_total = 0;
+};
+[[nodiscard]] ActivityBreakdown activity_breakdown(
+    const telemetry::MetadataStore& store, const core::MatchResult& result);
+
+/// Table 2a: matched transfer counts (local/remote) per method.
+struct MethodTransferRow {
+  core::MatchMethod method = core::MatchMethod::kExact;
+  std::size_t local = 0;
+  std::size_t remote = 0;
+  double matched_pct = 0.0;  ///< of transfers with jeditaskid
+  [[nodiscard]] std::size_t total() const noexcept { return local + remote; }
+};
+
+/// Table 2b: matched job counts by locality class per method.
+struct MethodJobRow {
+  core::MatchMethod method = core::MatchMethod::kExact;
+  std::size_t all_local = 0;
+  std::size_t all_remote = 0;
+  std::size_t mixed = 0;
+  double matched_pct = 0.0;  ///< of all jobs
+  [[nodiscard]] std::size_t total() const noexcept {
+    return all_local + all_remote + mixed;
+  }
+};
+
+struct MethodComparison {
+  std::array<MethodTransferRow, 3> transfers{};
+  std::array<MethodJobRow, 3> jobs{};
+};
+[[nodiscard]] MethodComparison compare_methods(
+    const telemetry::MetadataStore& store, const core::TriMatchResult& tri);
+
+/// Pretty-printers producing the paper-shaped tables.
+void print_overall(std::ostream& os, const OverallSummary& s);
+void print_table1(std::ostream& os, const ActivityBreakdown& b);
+void print_table2(std::ostream& os, const MethodComparison& c);
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,32 @@
+#include "analysis/volume_growth.hpp"
+
+namespace pandarus::analysis {
+
+bool is_shutdown_year(int year) noexcept {
+  return year == 2013 || year == 2014 ||  // LS1
+         (year >= 2019 && year <= 2021);  // LS2 (+ extended restart)
+}
+
+std::vector<YearVolume> simulate_volume_growth(
+    const VolumeGrowthParams& params) {
+  std::vector<YearVolume> out;
+  double total = 0.0;
+  double run_ingest = params.initial_ingest_pb;
+  for (int year = params.first_year; year <= params.last_year; ++year) {
+    double ingest;
+    if (is_shutdown_year(year)) {
+      // Shutdowns still ingest simulation/reprocessing output, at a
+      // fraction of the running rate; the run rate does not compound.
+      ingest = run_ingest * params.shutdown_ingest_factor;
+    } else {
+      ingest = run_ingest;
+      run_ingest *= params.run_growth;
+    }
+    const double deleted = ingest * params.deletion_fraction;
+    total += ingest - deleted;
+    out.push_back({year, ingest, deleted, total});
+  }
+  return out;
+}
+
+}  // namespace pandarus::analysis

@@ -1,0 +1,40 @@
+// Cumulative managed-volume model (paper Fig. 2): total ATLAS data under
+// Rucio management from 2009 to 2024, crossing ~1 EB in mid-2024 and
+// "more than doubling since 2018".
+//
+// The model is deterministic: yearly ingest follows the LHC schedule
+// (Run 1 / LS1 / Run 2 / LS2 / Run 3) with a compounding growth factor
+// within runs and a deletion fraction that trims a share of each year's
+// retained volume.
+#pragma once
+
+#include <vector>
+
+namespace pandarus::analysis {
+
+struct YearVolume {
+  int year = 0;
+  double added_pb = 0.0;
+  double deleted_pb = 0.0;
+  double total_pb = 0.0;  ///< cumulative managed volume at year end
+};
+
+struct VolumeGrowthParams {
+  int first_year = 2009;
+  int last_year = 2024;
+  double initial_ingest_pb = 23.0;   ///< Run-1 startup ingest per year
+  double run_growth = 1.25;          ///< year-over-year ingest growth in runs
+  double shutdown_ingest_factor = 0.3;  ///< LS ingest vs preceding year
+  double deletion_fraction = 0.12;   ///< of the year's ingest later deleted
+};
+
+/// Year-end cumulative volumes.  The defaults land at ~1 EB (1000 PB) by
+/// 2024 with the 2018 value near half of it, matching Fig. 2's shape.
+[[nodiscard]] std::vector<YearVolume> simulate_volume_growth(
+    const VolumeGrowthParams& params = VolumeGrowthParams{});
+
+/// True for LHC shutdown years (LS1: 2013-2014, LS2: 2019-2021 in this
+/// model's granularity).
+[[nodiscard]] bool is_shutdown_year(int year) noexcept;
+
+}  // namespace pandarus::analysis

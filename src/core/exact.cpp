@@ -1,0 +1,184 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+
+namespace pandarus::core {
+
+using telemetry::FileRecord;
+using telemetry::JobRecord;
+using telemetry::TransferRecord;
+
+const char* match_outcome_name(MatchOutcome outcome) noexcept {
+  switch (outcome) {
+    case MatchOutcome::kNoFileRows: return "no file-table rows";
+    case MatchOutcome::kNoCandidates: return "no candidate transfers";
+    case MatchOutcome::kSizeGateFailed: return "size-sum gate failed";
+    case MatchOutcome::kSiteCheckEliminatedAll:
+      return "site check eliminated all";
+    case MatchOutcome::kMatched: return "matched";
+  }
+  return "?";
+}
+
+Matcher::Matcher(const telemetry::MetadataStore& store) : store_(&store) {
+  const auto files = store.files();
+  files_by_job_.reserve(files.size() / 4 + 1);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    files_by_job_[files[i].pandaid].push_back(i);
+  }
+  const auto transfers = store.transfers();
+  transfers_by_lfn_.reserve(transfers.size());
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    transfers_by_lfn_[transfers[i].lfn].push_back(i);
+  }
+}
+
+namespace {
+
+/// Attribute equality between a file row and a transfer event: the join
+/// predicate of Algorithm 1's candidate-construction step.
+bool attributes_match(const FileRecord& f, const TransferRecord& t) {
+  return t.file_size == f.file_size && t.lfn == f.lfn &&
+         t.dataset == f.dataset && t.proddblock == f.proddblock &&
+         t.scope == f.scope;
+}
+
+/// Direction/site condition.  Under RM2 an UNKNOWN endpoint on the
+/// relevant side is accepted (§4.3: such labels "may be incorrectly
+/// recorded in the metadata while still corresponding to valid matches").
+bool site_condition(const TransferRecord& t, const JobRecord& j,
+                    bool relax_unknown) {
+  if (t.is_download()) {
+    return t.destination_site == j.computing_site ||
+           (relax_unknown && t.destination_site == grid::kUnknownSite);
+  }
+  if (t.is_upload()) {
+    return t.source_site == j.computing_site ||
+           (relax_unknown && t.source_site == grid::kUnknownSite);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Matcher::collect_candidates(
+    const JobRecord& job, const MatchOptions& options,
+    std::size_t* file_rows) const {
+  if (file_rows != nullptr) *file_rows = 0;
+  std::vector<std::size_t> candidates;
+  auto files_it = files_by_job_.find(job.pandaid);
+  if (files_it == files_by_job_.end()) return candidates;
+
+  const auto files = store_->files();
+  const auto transfers = store_->transfers();
+
+  // Candidate transfers: attribute-matched against any file row of F'_j,
+  // then time-filtered (started before the job's end).  Deduplicated,
+  // since one transfer may match both an input and an output row in
+  // pathological stores.
+  for (std::size_t fi : files_it->second) {
+    const FileRecord& row = files[fi];
+    if (row.jeditaskid != job.jeditaskid) continue;  // stale file row
+    if (file_rows != nullptr) ++*file_rows;
+    auto lfn_it = transfers_by_lfn_.find(std::string_view(row.lfn));
+    if (lfn_it == transfers_by_lfn_.end()) continue;
+    for (std::size_t ti : lfn_it->second) {
+      const TransferRecord& t = transfers[ti];
+      if (options.require_taskid_match && t.jeditaskid != job.jeditaskid) {
+        continue;
+      }
+      if (t.started_at < job.end_time && attributes_match(row, t)) {
+        candidates.push_back(ti);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+MatchedJob Matcher::match_job(std::size_t job_index,
+                              const MatchOptions& options) const {
+  const JobRecord& job = store_->jobs()[job_index];
+  MatchedJob result;
+  result.job_index = job_index;
+
+  const auto transfers = store_->transfers();
+  const std::vector<std::size_t> candidates =
+      collect_candidates(job, options, nullptr);
+  if (candidates.empty()) return result;
+
+  // Size-sum gate over the whole candidate set (exact method only).
+  if (options.enforce_size_sum) {
+    std::uint64_t sum = 0;
+    for (std::size_t ti : candidates) sum += transfers[ti].file_size;
+    if (sum != job.ninputfilebytes && sum != job.noutputfilebytes) {
+      return result;
+    }
+  }
+
+  // Direction/site condition per transfer.
+  for (std::size_t ti : candidates) {
+    const TransferRecord& t = transfers[ti];
+    if (!site_condition(t, job, options.relax_unknown_site)) continue;
+    result.transfer_indices.push_back(ti);
+    if (t.is_local()) {
+      ++result.local_transfers;
+    } else {
+      ++result.remote_transfers;
+    }
+  }
+  return result;
+}
+
+MatchDiagnosis Matcher::diagnose_job(std::size_t job_index,
+                                     const MatchOptions& options) const {
+  const JobRecord& job = store_->jobs()[job_index];
+  const auto transfers = store_->transfers();
+
+  MatchDiagnosis diagnosis;
+  const std::vector<std::size_t> candidates =
+      collect_candidates(job, options, &diagnosis.file_rows);
+  if (diagnosis.file_rows == 0) {
+    diagnosis.outcome = MatchOutcome::kNoFileRows;
+    return diagnosis;
+  }
+  diagnosis.candidates = candidates.size();
+  if (candidates.empty()) {
+    diagnosis.outcome = MatchOutcome::kNoCandidates;
+    return diagnosis;
+  }
+
+  for (std::size_t ti : candidates) {
+    diagnosis.candidate_sum += transfers[ti].file_size;
+  }
+  if (options.enforce_size_sum &&
+      diagnosis.candidate_sum != job.ninputfilebytes &&
+      diagnosis.candidate_sum != job.noutputfilebytes) {
+    diagnosis.outcome = MatchOutcome::kSizeGateFailed;
+    return diagnosis;
+  }
+
+  for (std::size_t ti : candidates) {
+    diagnosis.site_passing +=
+        site_condition(transfers[ti], job, options.relax_unknown_site);
+  }
+  diagnosis.outcome = diagnosis.site_passing > 0
+                          ? MatchOutcome::kMatched
+                          : MatchOutcome::kSiteCheckEliminatedAll;
+  return diagnosis;
+}
+
+MatchResult Matcher::run(const MatchOptions& options) const {
+  MatchResult out;
+  out.method = options.method;
+  out.jobs_considered = store_->jobs().size();
+  for (std::size_t i = 0; i < out.jobs_considered; ++i) {
+    MatchedJob m = match_job(i, options);
+    if (m.matched()) out.jobs.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace pandarus::core

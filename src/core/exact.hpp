@@ -1,0 +1,132 @@
+// Algorithm 1: mapping jobs to file-transfer events (paper §4.2).
+//
+// Transfers carry no pandaid, so the algorithm pivots through the PanDA
+// file table: for job J_j, the file rows F'_j sharing its (pandaid,
+// jeditaskid) provide the attribute tuple {lfn, dataset, proddblock,
+// scope, file_size} that candidate transfers must match exactly.  The
+// final filter keeps candidates that
+//   (1) started before the job's end time,
+//   (2) — exact method only — whose total size S_j equals the job's
+//       ninputfilebytes or noutputfilebytes (evaluated over the whole
+//       time-passing candidate set, as the paper does: "this filtering
+//       step treats T'_j as a whole set rather than solving the
+//       underlying NP-hard subset-selection problem"), and
+//   (3) satisfy the direction/site condition: downloads must land at the
+//       job's computing site, uploads must leave from it.
+//
+// The relaxed variants RM1/RM2 (§4.3) reuse the same pipeline with the
+// size gate disabled (RM1) and unknown site labels admitted (RM2); see
+// core/relaxed.hpp for the presets.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+
+#include "core/match_types.hpp"
+
+namespace pandarus::core {
+
+/// Knobs distinguishing exact/RM1/RM2 (and any custom hybrid).
+struct MatchOptions {
+  MatchMethod method = MatchMethod::kExact;
+  /// Gate on S_j == ninputfilebytes or noutputfilebytes (exact only).
+  bool enforce_size_sum = true;
+  /// Accept transfers whose relevant endpoint is UNKNOWN (RM2 only).
+  bool relax_unknown_site = false;
+  /// Require candidate transfers to carry the job's jeditaskid.  The
+  /// paper's accounting implies this (every linked transfer "with
+  /// jeditaskid" matches the task that owns the job); disabling it
+  /// admits anonymous rule-driven traffic as candidates — useful as an
+  /// ablation of how much provenance the task id actually carries.
+  bool require_taskid_match = true;
+
+  [[nodiscard]] static MatchOptions exact() noexcept {
+    return {MatchMethod::kExact, true, false, true};
+  }
+  [[nodiscard]] static MatchOptions rm1() noexcept {
+    return {MatchMethod::kRM1, false, false, true};
+  }
+  [[nodiscard]] static MatchOptions rm2() noexcept {
+    return {MatchMethod::kRM2, false, true, true};
+  }
+  [[nodiscard]] static MatchOptions for_method(MatchMethod m) noexcept {
+    switch (m) {
+      case MatchMethod::kExact: return exact();
+      case MatchMethod::kRM1: return rm1();
+      case MatchMethod::kRM2: return rm2();
+    }
+    return exact();
+  }
+};
+
+/// Why a job did or did not match: the terminal stage of Algorithm 1's
+/// pipeline for that job.  The enumerators are ordered by pipeline
+/// position, so "later" outcomes imply every earlier stage passed.
+enum class MatchOutcome : std::uint8_t {
+  kNoFileRows = 0,       ///< no PanDA file-table rows bridge the job
+  kNoCandidates = 1,     ///< rows exist but no transfer attribute-matches
+  kSizeGateFailed = 2,   ///< S_j != ninputfilebytes and != noutputfilebytes
+  kSiteCheckEliminatedAll = 3,  ///< candidates survived but none at the
+                                ///< right endpoint
+  kMatched = 4,
+};
+inline constexpr std::size_t kMatchOutcomeCount = 5;
+
+[[nodiscard]] const char* match_outcome_name(MatchOutcome outcome) noexcept;
+
+/// Structured explanation of one job's trip through Algorithm 1 — the
+/// paper's §5.5 data-quality diagnosis ("raw data of uncertain quality")
+/// made queryable.
+struct MatchDiagnosis {
+  MatchOutcome outcome = MatchOutcome::kNoFileRows;
+  std::size_t file_rows = 0;        ///< rows with matching jeditaskid
+  std::size_t candidates = 0;       ///< attribute+time-matched transfers
+  std::uint64_t candidate_sum = 0;  ///< S_j over the candidate set
+  std::size_t site_passing = 0;     ///< candidates passing the site check
+};
+
+/// Matcher over one (already corrupted) metadata snapshot.  Construction
+/// builds the two indexes Algorithm 1 needs — file rows by pandaid and
+/// transfers by lfn — and is then reusable across methods and threads
+/// (all queries are const).
+class Matcher {
+ public:
+  explicit Matcher(const telemetry::MetadataStore& store);
+
+  /// Runs Algorithm 1's inner loop for one job; the result's
+  /// transfer_indices is empty when the job matches nothing.
+  [[nodiscard]] MatchedJob match_job(std::size_t job_index,
+                                     const MatchOptions& options) const;
+
+  /// Like match_job, but reports which pipeline stage stopped the job.
+  [[nodiscard]] MatchDiagnosis diagnose_job(std::size_t job_index,
+                                            const MatchOptions& options) const;
+
+  /// Serial run over all jobs in the store.
+  [[nodiscard]] MatchResult run(const MatchOptions& options) const;
+
+  [[nodiscard]] const telemetry::MetadataStore& store() const noexcept {
+    return *store_;
+  }
+
+ private:
+  friend class ParallelMatchDriver;
+
+  /// Candidate construction shared by match_job and diagnose_job:
+  /// attribute-matched, taskid-checked (per options), time-filtered,
+  /// deduplicated.  `file_rows` (optional) receives the count of
+  /// bridging file rows.
+  [[nodiscard]] std::vector<std::size_t> collect_candidates(
+      const telemetry::JobRecord& job, const MatchOptions& options,
+      std::size_t* file_rows) const;
+
+  const telemetry::MetadataStore* store_;
+  /// pandaid -> indices into store.files().
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> files_by_job_;
+  /// lfn -> indices into store.transfers().  Keys view into the store's
+  /// strings; the store must outlive the matcher and stay unmodified.
+  std::unordered_map<std::string_view, std::vector<std::size_t>>
+      transfers_by_lfn_;
+};
+
+}  // namespace pandarus::core

@@ -1,0 +1,65 @@
+// Metadata inference and redundancy detection (paper §5.4, Fig. 12 /
+// Table 3).
+//
+// When a matched set contains the same logical file twice — once with a
+// known endpoint and once recorded as UNKNOWN — the byte-exact file
+// sizes pair the two events and the unknown endpoint can be recovered
+// ("effectively converting uncertain cases into exact ones").  The same
+// pairing exposes redundant transfers: the file reached the site twice,
+// which is "in principle avoidable".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/match_types.hpp"
+
+namespace pandarus::core {
+
+struct InferredSite {
+  std::size_t transfer_index = 0;        ///< the UNKNOWN-endpoint record
+  std::size_t evidence_index = 0;        ///< the paired known record
+  grid::SiteId inferred_destination = grid::kUnknownSite;
+};
+
+/// Pairs UNKNOWN-destination downloads in a matched set with
+/// same-(lfn, size) known-destination events and returns the inferred
+/// sites.  Pure function of the store snapshot.
+[[nodiscard]] std::vector<InferredSite> infer_unknown_sites(
+    const telemetry::MetadataStore& store, const MatchedJob& match);
+
+struct RedundantGroup {
+  std::string lfn;
+  std::uint64_t file_size = 0;
+  grid::SiteId destination = grid::kUnknownSite;  ///< after inference
+  std::vector<std::size_t> transfer_indices;      ///< >= 2 events
+  [[nodiscard]] std::uint64_t wasted_bytes() const noexcept {
+    return file_size * (transfer_indices.size() - 1);
+  }
+};
+
+/// Finds redundant transfer groups inside one matched set: the same
+/// (lfn, size) delivered to the same effective destination more than
+/// once.  UNKNOWN destinations are first resolved via
+/// infer_unknown_sites.
+[[nodiscard]] std::vector<RedundantGroup> find_redundant_transfers(
+    const telemetry::MetadataStore& store, const MatchedJob& match);
+
+struct GlobalRedundancy {
+  std::uint64_t redundant_transfers = 0;
+  std::uint64_t wasted_bytes = 0;
+  std::size_t groups = 0;
+};
+
+/// Store-wide sweep: successful downloads of the same (lfn, size) to the
+/// same known destination, counted beyond the first.  `within` bounds
+/// the gap between consecutive deliveries that counts as redundant —
+/// re-staging a file whose disk replica legitimately expired days later
+/// is lifecycle churn, not waste.  Pass util::kNever to count every
+/// repeat.  This is the aggregate "avoidable traffic" number the
+/// paper's mitigation discussion targets.
+[[nodiscard]] GlobalRedundancy scan_global_redundancy(
+    const telemetry::MetadataStore& store,
+    util::SimDuration within = util::kNever);
+
+}  // namespace pandarus::core

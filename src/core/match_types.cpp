@@ -1,0 +1,14 @@
+#include "core/match_types.hpp"
+
+namespace pandarus::core {
+
+const char* method_name(MatchMethod method) noexcept {
+  switch (method) {
+    case MatchMethod::kExact: return "Exact";
+    case MatchMethod::kRM1: return "RM1";
+    case MatchMethod::kRM2: return "RM2";
+  }
+  return "?";
+}
+
+}  // namespace pandarus::core

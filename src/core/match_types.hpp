@@ -1,0 +1,64 @@
+// Types shared across the matching core (the paper's contribution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/store.hpp"
+
+namespace pandarus::core {
+
+/// The three matching strategies of §4.2/§4.3.
+enum class MatchMethod : std::uint8_t {
+  kExact = 0,  ///< Algorithm 1 (attribute match + time + size sum + site)
+  kRM1 = 1,    ///< exact minus the byte-exact size-sum gate
+  kRM2 = 2,    ///< RM1 plus acceptance of unknown/invalid site labels
+};
+
+[[nodiscard]] const char* method_name(MatchMethod method) noexcept;
+
+/// Job-level locality classification used by Table 2b.
+enum class LocalityClass : std::uint8_t {
+  kAllLocal = 0,
+  kAllRemote = 1,
+  kMixed = 2,
+};
+
+/// One job together with its matched transfer events: an element of the
+/// mapping set M of Algorithm 1.
+struct MatchedJob {
+  std::size_t job_index = 0;  ///< index into MetadataStore::jobs()
+  std::vector<std::size_t> transfer_indices;  ///< into ::transfers()
+  std::uint32_t local_transfers = 0;
+  std::uint32_t remote_transfers = 0;
+
+  [[nodiscard]] bool matched() const noexcept {
+    return !transfer_indices.empty();
+  }
+  [[nodiscard]] LocalityClass locality() const noexcept {
+    if (local_transfers > 0 && remote_transfers > 0)
+      return LocalityClass::kMixed;
+    return remote_transfers > 0 ? LocalityClass::kAllRemote
+                                : LocalityClass::kAllLocal;
+  }
+};
+
+/// Result of running one method over a job population.
+struct MatchResult {
+  MatchMethod method = MatchMethod::kExact;
+  /// Only jobs with a non-empty matched set appear here, ordered by
+  /// job_index (deterministic regardless of parallelism).
+  std::vector<MatchedJob> jobs;
+  std::size_t jobs_considered = 0;
+
+  [[nodiscard]] std::size_t matched_job_count() const noexcept {
+    return jobs.size();
+  }
+  [[nodiscard]] std::size_t matched_transfer_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& j : jobs) n += j.transfer_indices.size();
+    return n;
+  }
+};
+
+}  // namespace pandarus::core

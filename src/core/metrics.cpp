@@ -1,0 +1,55 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace pandarus::core {
+
+util::SimDuration union_measure(std::vector<Interval> spans) {
+  std::erase_if(spans, [](const Interval& s) { return s.end <= s.begin; });
+  if (spans.empty()) return 0;
+  std::sort(spans.begin(), spans.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  util::SimDuration total = 0;
+  util::SimTime cur_begin = spans.front().begin;
+  util::SimTime cur_end = spans.front().end;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].begin <= cur_end) {
+      cur_end = std::max(cur_end, spans[i].end);
+    } else {
+      total += cur_end - cur_begin;
+      cur_begin = spans[i].begin;
+      cur_end = spans[i].end;
+    }
+  }
+  total += cur_end - cur_begin;
+  return total;
+}
+
+JobTransferMetrics compute_metrics(const telemetry::MetadataStore& store,
+                                   const MatchedJob& match) {
+  const telemetry::JobRecord& job = store.jobs()[match.job_index];
+  JobTransferMetrics out;
+  out.queuing_time = job.queuing_time();
+  out.wall_time = job.wall_time();
+
+  std::vector<Interval> in_queue;
+  std::vector<Interval> in_wall;
+  for (std::size_t ti : match.transfer_indices) {
+    const telemetry::TransferRecord& t = store.transfers()[ti];
+    out.transferred_bytes += t.file_size;
+    if (t.started_at < job.start_time && t.finished_at > job.start_time) {
+      out.transfer_spans_execution = true;
+    }
+    in_queue.push_back({std::max(t.started_at, job.creation_time),
+                        std::min(t.finished_at, job.start_time)});
+    in_wall.push_back({std::max(t.started_at, job.start_time),
+                       std::min(t.finished_at, job.end_time)});
+  }
+  out.transfer_time_in_queue = union_measure(std::move(in_queue));
+  out.transfer_time_in_wall = union_measure(std::move(in_wall));
+  return out;
+}
+
+}  // namespace pandarus::core

@@ -1,0 +1,51 @@
+// Job/transfer timing metrics (paper §5.1): "file transfer time is
+// defined as the cumulative duration during the job's queuing time phase
+// in which at least one associated file was actively transferring" —
+// i.e. the measure of the *union* of transfer intervals clipped to the
+// queuing window, not the sum of durations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/match_types.hpp"
+#include "util/time.hpp"
+
+namespace pandarus::core {
+
+struct Interval {
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Measure of the union of (possibly overlapping, unsorted) intervals.
+/// Empty/inverted intervals contribute nothing.
+[[nodiscard]] util::SimDuration union_measure(std::vector<Interval> spans);
+
+/// Timing breakdown of one matched job.
+struct JobTransferMetrics {
+  util::SimDuration queuing_time = 0;
+  util::SimDuration wall_time = 0;
+  /// Union of transfer activity clipped to [creation, start).
+  util::SimDuration transfer_time_in_queue = 0;
+  /// Union of transfer activity clipped to [start, end) — nonzero for
+  /// Direct IO and for the anomalous spans of Fig. 11.
+  util::SimDuration transfer_time_in_wall = 0;
+  std::uint64_t transferred_bytes = 0;
+  /// True when some matched transfer crosses the job's start time.
+  bool transfer_spans_execution = false;
+
+  [[nodiscard]] double queue_fraction() const noexcept {
+    return queuing_time > 0 ? static_cast<double>(transfer_time_in_queue) /
+                                  static_cast<double>(queuing_time)
+                            : 0.0;
+  }
+};
+
+/// Computes the breakdown for one matched job against the store it was
+/// matched in.
+[[nodiscard]] JobTransferMetrics compute_metrics(
+    const telemetry::MetadataStore& store, const MatchedJob& match);
+
+}  // namespace pandarus::core

@@ -1,0 +1,24 @@
+#include "core/parallel_driver.hpp"
+
+namespace pandarus::core {
+
+MatchResult ParallelMatchDriver::run(const MatchOptions& options) const {
+  const std::size_t n = matcher_->store().jobs().size();
+
+  MatchResult out = parallel::parallel_reduce<MatchResult>(
+      *pool_, n,
+      [this, &options](MatchResult& acc, std::size_t i) {
+        MatchedJob m = matcher_->match_job(i, options);
+        if (m.matched()) acc.jobs.push_back(std::move(m));
+      },
+      [](MatchResult& into, MatchResult&& chunk) {
+        into.jobs.insert(into.jobs.end(),
+                         std::make_move_iterator(chunk.jobs.begin()),
+                         std::make_move_iterator(chunk.jobs.end()));
+      });
+  out.method = options.method;
+  out.jobs_considered = n;
+  return out;
+}
+
+}  // namespace pandarus::core

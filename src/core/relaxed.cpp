@@ -1,0 +1,13 @@
+#include "core/relaxed.hpp"
+
+namespace pandarus::core {
+
+TriMatchResult run_all_methods(const Matcher& matcher) {
+  TriMatchResult out;
+  out.exact = matcher.run(MatchOptions::exact());
+  out.rm1 = matcher.run(MatchOptions::rm1());
+  out.rm2 = matcher.run(MatchOptions::rm2());
+  return out;
+}
+
+}  // namespace pandarus::core

@@ -1,0 +1,37 @@
+// Relaxed matching strategies RM1/RM2 (paper §4.3) and the convenience
+// driver that runs all three methods over one snapshot.
+//
+// RM1 drops the byte-exact size-sum gate, recovering (1) jobs whose
+// candidate set contains a valid subset but not an exact-sum whole, and
+// (2) jobs whose recorded sizes are imprecise.  RM2 additionally retains
+// transfers whose relevant endpoint is recorded as UNKNOWN/invalid.
+// Guaranteed inclusions (tested as invariants): for every job,
+//   exact-matched set ⊆ RM1-matched set ⊆ RM2-matched set.
+#pragma once
+
+#include <array>
+
+#include "core/exact.hpp"
+
+namespace pandarus::core {
+
+/// Results for all three methods, in method order.
+struct TriMatchResult {
+  MatchResult exact;
+  MatchResult rm1;
+  MatchResult rm2;
+
+  [[nodiscard]] const MatchResult& by_method(MatchMethod m) const noexcept {
+    switch (m) {
+      case MatchMethod::kExact: return exact;
+      case MatchMethod::kRM1: return rm1;
+      case MatchMethod::kRM2: return rm2;
+    }
+    return exact;
+  }
+};
+
+/// Runs exact, RM1 and RM2 over the snapshot with one shared index.
+[[nodiscard]] TriMatchResult run_all_methods(const Matcher& matcher);
+
+}  // namespace pandarus::core

@@ -1,0 +1,42 @@
+#include "dms/did.hpp"
+
+namespace pandarus::dms {
+
+const char* activity_name(Activity activity) noexcept {
+  switch (activity) {
+    case Activity::kAnalysisDownload: return "Analysis Download";
+    case Activity::kAnalysisUpload: return "Analysis Upload";
+    case Activity::kAnalysisDownloadDirectIO:
+      return "Analysis Download Direct IO";
+    case Activity::kProductionUpload: return "Production Upload";
+    case Activity::kProductionDownload: return "Production Download";
+    case Activity::kDataRebalance: return "Data Rebalance";
+  }
+  return "Unknown";
+}
+
+bool is_download(Activity activity) noexcept {
+  switch (activity) {
+    case Activity::kAnalysisDownload:
+    case Activity::kAnalysisDownloadDirectIO:
+    case Activity::kProductionDownload:
+    case Activity::kDataRebalance:
+      return true;
+    case Activity::kAnalysisUpload:
+    case Activity::kProductionUpload:
+      return false;
+  }
+  return false;
+}
+
+bool is_upload(Activity activity) noexcept {
+  switch (activity) {
+    case Activity::kAnalysisUpload:
+    case Activity::kProductionUpload:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pandarus::dms

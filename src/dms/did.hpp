@@ -1,0 +1,62 @@
+// Data identifiers (paper §2.2): the three-tier namespace of files,
+// datasets and containers, referenced by globally unique DIDs
+// (scope:name).  Files are the unit of transfer; datasets group files
+// for bulk operations; containers aggregate datasets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pandarus::dms {
+
+using FileId = std::uint64_t;
+using DatasetId = std::uint32_t;
+using ContainerId = std::uint32_t;
+
+inline constexpr DatasetId kNoDataset = 0xFFFFFFFFu;
+inline constexpr ContainerId kNoContainer = 0xFFFFFFFFu;
+
+/// Transfer activity classes as recorded in Rucio transfer events
+/// (Table 1 of the paper).  `kDataRebalance` covers rule-driven
+/// placement/consolidation traffic that carries no task identifier.
+enum class Activity : std::uint8_t {
+  kAnalysisDownload = 0,
+  kAnalysisUpload = 1,
+  kAnalysisDownloadDirectIO = 2,
+  kProductionUpload = 3,
+  kProductionDownload = 4,
+  kDataRebalance = 5,
+};
+inline constexpr std::size_t kActivityCount = 6;
+
+[[nodiscard]] const char* activity_name(Activity activity) noexcept;
+
+/// Download activities move data *to* the job's computing site; upload
+/// activities move job outputs *from* it.  Rebalance traffic is
+/// destination-oriented, so it counts as a download for the purposes of
+/// Algorithm 1's site check.
+[[nodiscard]] bool is_download(Activity activity) noexcept;
+[[nodiscard]] bool is_upload(Activity activity) noexcept;
+
+struct FileInfo {
+  FileId id = 0;
+  DatasetId dataset = kNoDataset;
+  std::uint64_t size_bytes = 0;
+};
+
+struct DatasetInfo {
+  DatasetId id = kNoDataset;
+  ContainerId container = kNoContainer;
+  std::string scope;   ///< e.g. "mc23_13p6TeV" or "user.jdoe"
+  std::string name;    ///< dataset DID name
+  std::uint32_t first_file_index = 0;  ///< for lfn generation
+};
+
+struct ContainerInfo {
+  ContainerId id = kNoContainer;
+  ContainerId parent = kNoContainer;  ///< containers can nest (§2.2)
+  std::string scope;
+  std::string name;
+};
+
+}  // namespace pandarus::dms

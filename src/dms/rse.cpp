@@ -1,0 +1,28 @@
+#include "dms/rse.hpp"
+
+namespace pandarus::dms {
+
+RseId RseRegistry::add(Rse rse) {
+  const auto id = static_cast<RseId>(rses_.size());
+  rse.id = id;
+  const grid::SiteId site = rse.site;
+  if (site != grid::kUnknownSite) {
+    auto& index = rse.kind == RseKind::kDisk ? disk_by_site_ : tape_by_site_;
+    if (index.size() <= site) index.resize(site + 1, kNoRse);
+    index[site] = id;
+  }
+  rses_.push_back(std::move(rse));
+  return id;
+}
+
+RseId RseRegistry::disk_at(grid::SiteId site) const {
+  if (site == grid::kUnknownSite || site >= disk_by_site_.size()) return kNoRse;
+  return disk_by_site_[site];
+}
+
+RseId RseRegistry::tape_at(grid::SiteId site) const {
+  if (site == grid::kUnknownSite || site >= tape_by_site_.size()) return kNoRse;
+  return tape_by_site_[site];
+}
+
+}  // namespace pandarus::dms

@@ -1,0 +1,51 @@
+// Rucio Storage Elements (paper §2.2): logical storage endpoints.
+// Each site hosts one DISK RSE; Tier-0/Tier-1 sites additionally host a
+// TAPE RSE.  Tape staging (TAPE -> DISK at the same site) is the main
+// producer of the huge *local* transfer volumes on the Fig. 3 diagonal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/site.hpp"
+
+namespace pandarus::dms {
+
+using RseId = std::uint32_t;
+inline constexpr RseId kNoRse = 0xFFFFFFFFu;
+
+enum class RseKind : std::uint8_t { kDisk = 0, kTape = 1 };
+
+struct Rse {
+  RseId id = kNoRse;
+  std::string name;  ///< e.g. "CERN-PROD_DATADISK"
+  grid::SiteId site = grid::kUnknownSite;
+  RseKind kind = RseKind::kDisk;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t used_bytes = 0;
+};
+
+/// Registry of RSEs with site-indexed lookup.
+class RseRegistry {
+ public:
+  RseId add(Rse rse);
+
+  [[nodiscard]] const Rse& rse(RseId id) const { return rses_.at(id); }
+  [[nodiscard]] Rse& rse_mutable(RseId id) { return rses_.at(id); }
+  [[nodiscard]] std::size_t count() const noexcept { return rses_.size(); }
+
+  /// The site's DISK RSE, or kNoRse when the site has none.
+  [[nodiscard]] RseId disk_at(grid::SiteId site) const;
+  /// The site's TAPE RSE, or kNoRse.
+  [[nodiscard]] RseId tape_at(grid::SiteId site) const;
+
+  [[nodiscard]] const std::vector<Rse>& all() const noexcept { return rses_; }
+
+ private:
+  std::vector<Rse> rses_;
+  std::vector<RseId> disk_by_site_;  // indexed by SiteId
+  std::vector<RseId> tape_by_site_;
+};
+
+}  // namespace pandarus::dms

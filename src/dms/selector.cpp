@@ -1,0 +1,41 @@
+#include "dms/selector.hpp"
+
+namespace pandarus::dms {
+
+RseId ReplicaSelector::select_source(FileId file, grid::SiteId dst,
+                                     util::SimTime t) const {
+  RseId local_disk = kNoRse;
+  RseId local_tape = kNoRse;
+  RseId best_remote_disk = kNoRse;
+  double best_remote_capacity = -1.0;
+  RseId any_tape = kNoRse;
+
+  for (RseId rse_id : replicas_->replicas(file)) {
+    const Rse& rse = rses_->rse(rse_id);
+    if (rse.site == dst) {
+      if (rse.kind == RseKind::kDisk) {
+        local_disk = rse_id;
+      } else {
+        local_tape = rse_id;
+      }
+      continue;
+    }
+    if (rse.kind == RseKind::kDisk) {
+      const double capacity =
+          topology_->link(rse.site, dst).effective_capacity(t);
+      if (capacity > best_remote_capacity) {
+        best_remote_capacity = capacity;
+        best_remote_disk = rse_id;
+      }
+    } else if (any_tape == kNoRse) {
+      any_tape = rse_id;
+    }
+  }
+
+  if (local_disk != kNoRse) return local_disk;
+  if (local_tape != kNoRse) return local_tape;
+  if (best_remote_disk != kNoRse) return best_remote_disk;
+  return any_tape;
+}
+
+}  // namespace pandarus::dms

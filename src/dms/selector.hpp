@@ -1,0 +1,34 @@
+// Replica selection (paper §2.2, step 2 of the transfer workflow):
+// given a file needed at a destination site, choose the best source
+// replica "based on protocol, throughput, and network performance".
+#pragma once
+
+#include "dms/catalog.hpp"
+#include "grid/topology.hpp"
+#include "util/time.hpp"
+
+namespace pandarus::dms {
+
+class ReplicaSelector {
+ public:
+  ReplicaSelector(const grid::Topology& topology, const RseRegistry& rses,
+                  const ReplicaCatalog& replicas)
+      : topology_(&topology), rses_(&rses), replicas_(&replicas) {}
+
+  /// Best source RSE for staging `file` to `dst` at time `t`:
+  ///  1. a DISK replica at the destination site itself (local copy);
+  ///  2. the site's own TAPE replica (local staging beats WAN);
+  ///  3. otherwise the remote DISK replica with the highest effective
+  ///     link capacity toward `dst` right now;
+  ///  4. a remote TAPE replica as a last resort.
+  /// Returns kNoRse when the file has no replica anywhere.
+  [[nodiscard]] RseId select_source(FileId file, grid::SiteId dst,
+                                    util::SimTime t) const;
+
+ private:
+  const grid::Topology* topology_;
+  const RseRegistry* rses_;
+  const ReplicaCatalog* replicas_;
+};
+
+}  // namespace pandarus::dms

@@ -1,0 +1,222 @@
+#include "dms/transfer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pandarus::dms {
+
+// One transfer occupying a slot on a link.
+struct TransferEngine::Active {
+  TransferRequest request;
+  std::uint64_t id = 0;
+  util::SimTime submitted_at = 0;
+  util::SimTime started_at = 0;
+  std::uint32_t attempt = 1;
+  bool stalled = false;
+  double stall_factor = 1.0;
+  bool doomed = false;  ///< this attempt will abort at its "finish" time
+
+  double bytes_done = 0.0;
+  double rate_bps = 0.0;
+  util::SimTime last_update = 0;
+  sim::Scheduler::EventHandle finish_event;
+};
+
+struct TransferEngine::LinkState {
+  grid::LinkKey key;
+  std::vector<std::unique_ptr<Active>> active;
+  std::deque<std::unique_ptr<Active>> pending;
+  sim::Scheduler::EventHandle rerate_event;
+};
+
+TransferEngine::TransferEngine(sim::Scheduler& scheduler,
+                               const grid::Topology& topology,
+                               ReplicaCatalog& replicas, util::Rng rng,
+                               Params params)
+    : scheduler_(scheduler),
+      topology_(topology),
+      replicas_(replicas),
+      rng_(rng),
+      params_(params) {}
+
+TransferEngine::TransferEngine(sim::Scheduler& scheduler,
+                               const grid::Topology& topology,
+                               ReplicaCatalog& replicas, util::Rng rng)
+    : TransferEngine(scheduler, topology, replicas, rng, Params{}) {}
+
+TransferEngine::~TransferEngine() = default;
+
+TransferEngine::LinkState& TransferEngine::link_state(grid::SiteId src,
+                                                      grid::SiteId dst) {
+  const grid::LinkKey key{src, dst};
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    auto ls = std::make_unique<LinkState>();
+    ls->key = key;
+    it = links_.emplace(key, std::move(ls)).first;
+  }
+  return *it->second;
+}
+
+std::uint64_t TransferEngine::submit(TransferRequest request) {
+  assert(request.size_bytes > 0);
+  auto active = std::make_unique<Active>();
+  active->request = std::move(request);
+  active->id = next_id_++;
+  active->submitted_at = scheduler_.now();
+  const std::uint64_t id = active->id;
+
+  LinkState& ls = link_state(active->request.src, active->request.dst);
+  ls.pending.push_back(std::move(active));
+  ++stats_.submitted;
+  ++in_flight_;
+  try_start(ls);
+  return id;
+}
+
+void TransferEngine::try_start(LinkState& ls) {
+  const grid::NetworkLink& link = topology_.link(ls.key.src, ls.key.dst);
+  bool started = false;
+  while (!ls.pending.empty() && ls.active.size() < link.max_active) {
+    start_one(ls);
+    started = true;
+  }
+  if (started) update_rates(ls);
+}
+
+void TransferEngine::start_one(LinkState& ls) {
+  auto active = std::move(ls.pending.front());
+  ls.pending.pop_front();
+
+  const grid::NetworkLink& link = topology_.link(ls.key.src, ls.key.dst);
+  // Protocol setup latency delays the effective start a little.
+  active->started_at =
+      scheduler_.now() + static_cast<util::SimDuration>(link.latency_ms);
+  active->last_update = active->started_at;
+  active->bytes_done = 0.0;
+  active->stalled = rng_.bernoulli(params_.stall_prob);
+  if (active->stalled) {
+    // Log-uniform severity: most stalls are mild, a tail is crippling.
+    const double lo = std::log(params_.stall_factor_min);
+    const double hi = std::log(params_.stall_factor_max);
+    active->stall_factor = std::exp(rng_.uniform(lo, hi));
+  }
+  active->doomed = rng_.bernoulli(params_.failure_prob);
+  ls.active.push_back(std::move(active));
+  schedule_rerate(ls);
+}
+
+void TransferEngine::update_rates(LinkState& ls) {
+  if (ls.active.empty()) {
+    ls.rerate_event.cancel();
+    return;
+  }
+  const util::SimTime now = scheduler_.now();
+  const grid::NetworkLink& link = topology_.link(ls.key.src, ls.key.dst);
+  const double capacity = std::max(link.effective_capacity(now), 1e3);
+  const double fair_share =
+      capacity / static_cast<double>(ls.active.size());
+
+  for (auto& active : ls.active) {
+    // Account progress since the last rate change.
+    if (now > active->last_update && active->rate_bps > 0.0) {
+      active->bytes_done += active->rate_bps *
+                            util::to_seconds(now - active->last_update);
+    }
+    active->last_update = std::max(now, active->started_at);
+
+    double rate = std::min(fair_share, params_.per_stream_cap_bps);
+    if (active->stalled) rate *= active->stall_factor;
+    active->rate_bps = std::max(rate, 1e3);
+
+    const double remaining =
+        std::max(0.0, static_cast<double>(active->request.size_bytes) -
+                          active->bytes_done);
+    const auto eta = static_cast<util::SimDuration>(
+        std::ceil(remaining / active->rate_bps * 1000.0));
+    active->finish_event.cancel();
+    Active* raw = active.get();
+    active->finish_event = scheduler_.schedule_at(
+        active->last_update + std::max<util::SimDuration>(eta, 1),
+        [this, &ls, raw] { complete(ls, raw); });
+  }
+}
+
+void TransferEngine::schedule_rerate(LinkState& ls) {
+  if (ls.rerate_event.pending()) return;
+  ls.rerate_event = scheduler_.schedule_after(params_.rerate_interval,
+                                              [this, &ls] {
+                                                ls.rerate_event = {};
+                                                update_rates(ls);
+                                                if (!ls.active.empty())
+                                                  schedule_rerate(ls);
+                                              });
+}
+
+void TransferEngine::complete(LinkState& ls, Active* active) {
+  // Extract the finished transfer from the active set.
+  auto it = std::find_if(ls.active.begin(), ls.active.end(),
+                         [active](const auto& p) { return p.get() == active; });
+  assert(it != ls.active.end());
+  std::unique_ptr<Active> done = std::move(*it);
+  ls.active.erase(it);
+
+  const bool attempt_failed = done->doomed;
+  if (attempt_failed && done->attempt < params_.max_attempts) {
+    // Retry: requeue the transfer with attempt bumped.
+    ++stats_.retries;
+    done->attempt += 1;
+    done->finish_event = {};
+    done->rate_bps = 0.0;
+    ls.pending.push_back(std::move(done));
+  } else {
+    finalize(std::move(done), !attempt_failed);
+  }
+  // Freed slot: admit queued work and rebalance the shares.
+  try_start(ls);
+  update_rates(ls);
+}
+
+void TransferEngine::finalize(std::unique_ptr<Active> active, bool success) {
+  TransferOutcome outcome;
+  outcome.transfer_id = active->id;
+  outcome.file = active->request.file;
+  outcome.size_bytes = active->request.size_bytes;
+  outcome.src = active->request.src;
+  outcome.dst = active->request.dst;
+  outcome.activity = active->request.activity;
+  outcome.jeditaskid = active->request.jeditaskid;
+  outcome.pandaid = active->request.pandaid;
+  outcome.submitted_at = active->submitted_at;
+  outcome.started_at = active->started_at;
+  outcome.finished_at = scheduler_.now();
+  outcome.success = success;
+  outcome.attempts = active->attempt;
+
+  if (success) {
+    ++stats_.completed;
+    stats_.bytes_moved += active->request.size_bytes;
+    if (active->request.dst_rse != kNoRse) {
+      if (rng_.bernoulli(params_.registration_failure_prob)) {
+        ++stats_.registration_failures;
+      } else if (replicas_.add_replica(active->request.file,
+                                       active->request.dst_rse)) {
+        outcome.replica_registered = true;
+      } else {
+        // Destination RSE over quota: the bytes moved but no replica
+        // could be registered (it will be garbage-collected) — another
+        // source of catalog-unknown copies and re-transfers.
+        ++stats_.quota_rejections;
+      }
+    }
+  } else {
+    ++stats_.failed;
+  }
+  --in_flight_;
+
+  if (active->request.on_complete) active->request.on_complete(outcome);
+  if (sink_) sink_(outcome);
+}
+
+}  // namespace pandarus::dms

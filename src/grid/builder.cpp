@@ -1,0 +1,201 @@
+#include "grid/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace pandarus::grid {
+namespace {
+
+constexpr std::array<const char*, 20> kT1Countries = {
+    "USA",     "UK",     "France",  "Germany", "Italy",
+    "Canada",  "Spain",  "Netherlands", "NorthEurope", "Taiwan",
+    "Russia",  "Korea",  "Japan",   "Brazil",  "Poland",
+    "Czechia", "Sweden", "Norway",  "Israel",  "Australia"};
+
+constexpr std::array<const char*, 24> kT2Countries = {
+    "USA",      "UK",      "France",   "Germany",  "Italy",   "Switzerland",
+    "Spain",    "Portugal","Greece",   "Austria",  "Romania", "Slovenia",
+    "Japan",    "China",   "India",    "SouthAfrica", "Chile", "Mexico",
+    "Turkey",   "Denmark", "Finland",  "Belgium",  "Ireland", "Hungary"};
+
+double lognormal_factor(util::Rng& rng, double sigma) {
+  return rng.lognormal_median(1.0, sigma);
+}
+
+Site make_site(std::string name, std::string country, Tier tier,
+               util::Rng& rng) {
+  Site s;
+  s.name = std::move(name);
+  s.country = std::move(country);
+  s.tier = tier;
+  switch (tier) {
+    case Tier::kT0:
+      s.cpu_slots = 30'000;
+      s.storage_bytes = 400'000'000'000'000'000ULL;  // 400 PB
+      s.lan_bandwidth_bps = 20e9;
+      s.max_parallel_streams = 16;
+      s.base_failure_prob = 0.05;
+      s.batch_delay_mean_ms = 150'000.0;
+      break;
+    case Tier::kT1:
+      s.cpu_slots = static_cast<std::uint32_t>(
+          6'000 * lognormal_factor(rng, 0.4));
+      s.storage_bytes = 80'000'000'000'000'000ULL;  // 80 PB
+      s.lan_bandwidth_bps = 8e9 * lognormal_factor(rng, 0.3);
+      s.max_parallel_streams = 8;
+      s.base_failure_prob = 0.07;
+      s.batch_delay_mean_ms = 140'000.0 * lognormal_factor(rng, 0.5);
+      break;
+    case Tier::kT2:
+      s.cpu_slots = static_cast<std::uint32_t>(
+          1'200 * lognormal_factor(rng, 0.6));
+      s.storage_bytes = 8'000'000'000'000'000ULL;  // 8 PB
+      s.lan_bandwidth_bps = 2e9 * lognormal_factor(rng, 0.5);
+      s.max_parallel_streams = 4;
+      s.base_failure_prob = 0.11;
+      s.batch_delay_mean_ms = 200'000.0 * lognormal_factor(rng, 0.7);
+      break;
+    case Tier::kT3:
+      s.cpu_slots = static_cast<std::uint32_t>(
+          150 * lognormal_factor(rng, 0.5));
+      s.storage_bytes = 500'000'000'000'000ULL;  // 0.5 PB
+      s.lan_bandwidth_bps = 500e6 * lognormal_factor(rng, 0.5);
+      s.max_parallel_streams = 2;
+      s.base_failure_prob = 0.15;
+      s.batch_delay_mean_ms = 300'000.0 * lognormal_factor(rng, 0.7);
+      break;
+  }
+  s.cpu_slots = std::max<std::uint32_t>(s.cpu_slots, 8);
+  return s;
+}
+
+double wan_capacity(const TopologyParams& params, Tier a, Tier b) {
+  const auto lo = static_cast<int>(a) < static_cast<int>(b) ? a : b;
+  const auto hi = static_cast<int>(a) < static_cast<int>(b) ? b : a;
+  if (hi == Tier::kT3) return params.t3_bps;
+  if (lo == Tier::kT0) return params.t0_t1_bps;  // T0 peers at T1 speed
+  if (lo == Tier::kT1 && hi == Tier::kT1) return params.t1_t1_bps;
+  if (lo == Tier::kT1) return params.t1_t2_bps;
+  return params.t2_t2_bps;
+}
+
+}  // namespace
+
+Topology build_wlcg_like(const TopologyParams& params) {
+  util::Rng rng(params.seed);
+  util::Rng site_rng = rng.fork(0x5174e5);
+  util::Rng link_rng = rng.fork(0x11171c);
+
+  Topology topo;
+
+  topo.add_site(make_site("CERN-PROD", "Switzerland", Tier::kT0, site_rng));
+
+  char buf[64];
+  for (std::uint32_t i = 0; i < params.n_tier1; ++i) {
+    const char* country = kT1Countries[i % kT1Countries.size()];
+    std::snprintf(buf, sizeof buf, "%s-T1-%02u", country, i);
+    topo.add_site(make_site(buf, country, Tier::kT1, site_rng));
+  }
+  for (std::uint32_t i = 0; i < params.n_tier2; ++i) {
+    const char* country = kT2Countries[i % kT2Countries.size()];
+    std::snprintf(buf, sizeof buf, "%s-T2-%02u", country, i);
+    topo.add_site(make_site(buf, country, Tier::kT2, site_rng));
+  }
+  for (std::uint32_t i = 0; i < params.n_tier3; ++i) {
+    const char* country = kT2Countries[(i * 5) % kT2Countries.size()];
+    std::snprintf(buf, sizeof buf, "%s-T3-%02u", country, i);
+    topo.add_site(make_site(buf, country, Tier::kT3, site_rng));
+  }
+
+  // Site-quality pathologies: sequential staging frontends and congested
+  // batch systems are assigned to a deterministic random subset of
+  // non-T0 sites.
+  for (const Site& s : topo.sites()) {
+    if (s.tier == Tier::kT0) continue;
+    Site& mut = topo.site_mutable(s.id);
+    if (site_rng.bernoulli(params.sequential_site_fraction)) {
+      mut.max_parallel_streams = 1;
+    }
+    if (site_rng.bernoulli(params.congested_site_fraction)) {
+      mut.batch_delay_mean_ms *= 12.0;
+      mut.base_failure_prob *= 1.8;
+    }
+  }
+  // Guarantee the expected number of sequential-frontend Tier-1s:
+  // tape-heavy T1s with single-stream pilots are the population behind
+  // the paper's Fig. 10 case study, and an unlucky seed must not erase
+  // them.
+  if (params.sequential_site_fraction > 0.0 && params.n_tier1 > 0) {
+    const auto t1s = topo.sites_of_tier(Tier::kT1);
+    const auto want = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(static_cast<double>(t1s.size()) *
+                       params.sequential_site_fraction)));
+    std::size_t have = 0;
+    for (SiteId id : t1s) {
+      have += topo.site(id).max_parallel_streams == 1;
+    }
+    for (std::size_t i = 0; have < want && i < t1s.size(); ++i) {
+      // Deterministic fill order spread across the list.
+      const SiteId id = t1s[(i * 7 + t1s.size() / 2) % t1s.size()];
+      if (topo.site(id).max_parallel_streams != 1) {
+        topo.site_mutable(id).max_parallel_streams = 1;
+        ++have;
+      }
+    }
+  }
+
+  // Explicit directional links for every ordered pair.  Local (i, i)
+  // pseudo-links take the site's LAN parameters; WAN links get a
+  // tier-pair capacity with lognormal heterogeneity and an independent
+  // background-load stream per direction (Fig. 7 shows asymmetric usage
+  // across opposite directions of the same pair).
+  const auto n = static_cast<SiteId>(topo.site_count());
+  for (SiteId i = 0; i < n; ++i) {
+    for (SiteId j = 0; j < n; ++j) {
+      NetworkLink link;
+      link.key = {i, j};
+      const std::uint64_t link_seed =
+          util::hash_mix(params.seed, (static_cast<std::uint64_t>(i) << 32) | j);
+      LoadModel::Params load;
+      load.seed = link_seed;
+      load.phase_hours = util::hash_unit(util::hash_mix(link_seed, 1)) * 24.0;
+      if (i == j) {
+        const Site& s = topo.site(i);
+        link.capacity_bps = s.lan_bandwidth_bps;
+        link.latency_ms = 1.0;
+        // The storage frontend's admission limit is independent of the
+        // per-pilot stream limit: even "sequential pilot" sites serve
+        // several concurrent transfers.
+        switch (s.tier) {
+          case Tier::kT0: link.max_active = 16; break;
+          case Tier::kT1: link.max_active = 10; break;
+          case Tier::kT2: link.max_active = 6; break;
+          case Tier::kT3: link.max_active = 4; break;
+        }
+        load.mean_util = 0.25;
+        load.diurnal_amplitude = 0.2;
+        load.burst_prob = 0.2;
+        load.burst_util = 0.55;
+      } else {
+        const Tier ta = topo.site(i).tier;
+        const Tier tb = topo.site(j).tier;
+        link.capacity_bps = wan_capacity(params, ta, tb) *
+                            link_rng.lognormal_median(1.0, 0.6);
+        link.latency_ms = 20.0 + 160.0 * link_rng.next_double();
+        link.max_active = 6;
+        load.mean_util = 0.35;
+        load.diurnal_amplitude = 0.25;
+        load.burst_prob = 0.15;
+        load.burst_util = 0.45;
+      }
+      link.load = LoadModel(load);
+      topo.add_link(std::move(link));
+    }
+  }
+  return topo;
+}
+
+}  // namespace pandarus::grid

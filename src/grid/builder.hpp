@@ -1,0 +1,45 @@
+// WLCG-like topology generation.
+//
+// The real grid spans ~200 centers in 40+ countries organized in four
+// tiers (§2).  The builder synthesizes a topology with the same
+// structure: one CERN-like Tier-0, a handful of fat national Tier-1s, a
+// long tail of Tier-2s and small Tier-3s, heterogeneous link capacities
+// (fat T0<->T1 mesh, thinner edges elsewhere) and heterogeneous site
+// quality (batch delays, stream limits, reliability).
+#pragma once
+
+#include <cstdint>
+
+#include "grid/topology.hpp"
+#include "util/rng.hpp"
+
+namespace pandarus::grid {
+
+struct TopologyParams {
+  std::uint32_t n_tier1 = 10;
+  std::uint32_t n_tier2 = 28;
+  std::uint32_t n_tier3 = 8;
+  std::uint64_t seed = 42;
+
+  // Nominal WAN capacities by tier pair (bytes/s).  Individual links get
+  // a lognormal multiplier so the grid is heterogeneous.
+  double t0_t1_bps = 8e9;
+  double t1_t1_bps = 4e9;
+  double t1_t2_bps = 1.2e9;
+  double t2_t2_bps = 400e6;
+  double t3_bps = 120e6;
+
+  /// Fraction of sites whose storage frontend admits only one staging
+  /// stream at a time (sequential staging, Fig. 10).
+  double sequential_site_fraction = 0.25;
+
+  /// Fraction of sites with a pathologically slow batch system (the
+  /// local-queueing outliers of Fig. 5).
+  double congested_site_fraction = 0.15;
+};
+
+/// Builds the full topology: sites plus an explicit directional link for
+/// every ordered site pair (including the local (i, i) pseudo-links).
+[[nodiscard]] Topology build_wlcg_like(const TopologyParams& params);
+
+}  // namespace pandarus::grid

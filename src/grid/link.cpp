@@ -1,0 +1,6 @@
+#include "grid/link.hpp"
+
+// NetworkLink is currently header-only; this translation unit anchors the
+// module library and keeps a stable home for future out-of-line logic.
+
+namespace pandarus::grid {}  // namespace pandarus::grid

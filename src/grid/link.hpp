@@ -1,0 +1,45 @@
+// Directional network links between sites.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "grid/load_model.hpp"
+#include "grid/site.hpp"
+#include "util/time.hpp"
+
+namespace pandarus::grid {
+
+/// Directional (source, destination) pair identifying a link.  A link
+/// with src == dst models the site's LAN / storage frontend and carries
+/// the paper's "local transfers" (diagonal cells in Fig. 3).
+struct LinkKey {
+  SiteId src = kUnknownSite;
+  SiteId dst = kUnknownSite;
+
+  [[nodiscard]] bool is_local() const noexcept { return src == dst; }
+  friend bool operator==(const LinkKey&, const LinkKey&) = default;
+};
+
+struct LinkKeyHash {
+  std::size_t operator()(const LinkKey& key) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(key.src) << 32) | key.dst);
+  }
+};
+
+struct NetworkLink {
+  LinkKey key;
+  double capacity_bps = 1e9;  ///< nominal capacity, bytes/s
+  double latency_ms = 20.0;   ///< per-transfer setup latency
+  /// Concurrent foreground transfers allowed; excess requests queue.
+  std::uint32_t max_active = 8;
+  LoadModel load;
+
+  /// Capacity available to foreground transfers at time t.
+  [[nodiscard]] double effective_capacity(util::SimTime t) const noexcept {
+    return capacity_bps * load.available_fraction(t);
+  }
+};
+
+}  // namespace pandarus::grid

@@ -1,0 +1,15 @@
+#include "grid/site.hpp"
+
+namespace pandarus::grid {
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kT0: return "Tier-0";
+    case Tier::kT1: return "Tier-1";
+    case Tier::kT2: return "Tier-2";
+    case Tier::kT3: return "Tier-3";
+  }
+  return "Tier-?";
+}
+
+}  // namespace pandarus::grid

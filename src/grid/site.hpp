@@ -1,0 +1,52 @@
+// Computing sites and the WLCG tier taxonomy (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pandarus::grid {
+
+/// Dense site index assigned by the topology.  The sentinel
+/// `kUnknownSite` mirrors the paper's "unknown" pseudo-site that
+/// aggregates transfers whose source or destination failed to record
+/// (§3.2: the 102nd site in the Fig. 3 heatmap).
+using SiteId = std::uint32_t;
+inline constexpr SiteId kUnknownSite = 0xFFFFFFFFu;
+
+/// WLCG tiers: Tier-0 at CERN records and first-processes raw data,
+/// Tier-1s are national labs with tape, Tier-2s are universities/labs,
+/// Tier-3s are small local resources (§2.1).
+enum class Tier : std::uint8_t { kT0 = 0, kT1 = 1, kT2 = 2, kT3 = 3 };
+
+[[nodiscard]] const char* tier_name(Tier tier) noexcept;
+
+struct Site {
+  SiteId id = kUnknownSite;
+  std::string name;     ///< e.g. "CERN-PROD", "BNL-T1"
+  std::string country;  ///< display only
+  Tier tier = Tier::kT2;
+
+  std::uint32_t cpu_slots = 100;   ///< concurrent payload jobs
+  double cpu_speed = 1.0;          ///< relative per-slot speed
+  std::uint64_t storage_bytes = 0; ///< capacity of the site disk RSE
+
+  /// LAN bandwidth for intra-site (local) transfers, bytes/s.
+  double lan_bandwidth_bps = 1e9;
+
+  /// Stage-in streams a single pilot may open at this site.  Sites with
+  /// 1 stream make pilots download their input files *sequentially* —
+  /// the paper's Fig. 10 observation that "the underlying file transfer
+  /// mechanism doesn't enable parallel file transfers at every site".
+  /// (The site's storage frontend itself still serves several concurrent
+  /// transfers; see the local NetworkLink's max_active.)
+  std::uint32_t max_parallel_streams = 4;
+
+  /// Base probability that a payload job fails for site-local reasons.
+  double base_failure_prob = 0.03;
+
+  /// Mean extra scheduling delay of the local batch system, ms.  Heavily
+  /// loaded sites produce the long local queuing tails of Fig. 5.
+  double batch_delay_mean_ms = 30'000.0;
+};
+
+}  // namespace pandarus::grid

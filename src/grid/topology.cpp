@@ -1,0 +1,65 @@
+#include "grid/topology.hpp"
+
+#include <cassert>
+
+namespace pandarus::grid {
+
+SiteId Topology::add_site(Site site) {
+  const auto id = static_cast<SiteId>(sites_.size());
+  site.id = id;
+  by_name_.emplace(site.name, id);
+  sites_.push_back(std::move(site));
+  return id;
+}
+
+void Topology::add_link(NetworkLink link) {
+  links_[link.key] = std::move(link);
+}
+
+std::optional<SiteId> Topology::find_site(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view Topology::site_name(SiteId id) const {
+  if (id == kUnknownSite) return "UNKNOWN";
+  return sites_.at(id).name;
+}
+
+const NetworkLink& Topology::link(SiteId src, SiteId dst) const {
+  const LinkKey key{src, dst};
+  auto it = links_.find(key);
+  if (it != links_.end()) return it->second;
+
+  // Synthesize a sensible default so callers never dereference a missing
+  // link.  Local pseudo-links use the site's LAN parameters.
+  NetworkLink fallback;
+  fallback.key = key;
+  if (key.is_local() && src < sites_.size()) {
+    const Site& s = sites_[src];
+    fallback.capacity_bps = s.lan_bandwidth_bps;
+    fallback.latency_ms = 1.0;
+    fallback.max_active = std::max(4u, s.max_parallel_streams);
+  } else {
+    fallback.capacity_bps = 100e6;
+    fallback.latency_ms = 100.0;
+    fallback.max_active = 4;
+  }
+  auto [inserted, _] = links_.emplace(key, fallback);
+  return inserted->second;
+}
+
+bool Topology::has_link(SiteId src, SiteId dst) const {
+  return links_.contains(LinkKey{src, dst});
+}
+
+std::vector<SiteId> Topology::sites_of_tier(Tier tier) const {
+  std::vector<SiteId> result;
+  for (const Site& s : sites_) {
+    if (s.tier == tier) result.push_back(s.id);
+  }
+  return result;
+}
+
+}  // namespace pandarus::grid

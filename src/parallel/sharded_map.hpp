@@ -1,0 +1,88 @@
+// Sharded hash map: concurrent inserts from matcher workers without a
+// global lock.  Shard count is a power of two fixed at construction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace pandarus::parallel {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedMap {
+ public:
+  explicit ShardedMap(std::size_t shard_count = 16) {
+    // Round up to a power of two so shard selection is a mask.
+    std::size_t n = 1;
+    while (n < shard_count) n <<= 1;
+    shards_ = std::vector<Shard>(n);
+  }
+
+  /// Inserts or overwrites.
+  void put(const Key& key, Value value) {
+    Shard& shard = shard_for(key);
+    std::scoped_lock lock(shard.mutex);
+    shard.map[key] = std::move(value);
+  }
+
+  /// Applies `fn(Value&)` to the (default-constructed if absent) entry.
+  template <typename Fn>
+  void update(const Key& key, Fn&& fn) {
+    Shard& shard = shard_for(key);
+    std::scoped_lock lock(shard.mutex);
+    fn(shard.map[key]);
+  }
+
+  /// Copies the value out if present.
+  [[nodiscard]] bool get(const Key& key, Value& out) const {
+    const Shard& shard = shard_for(key);
+    std::scoped_lock lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    out = it->second;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    const Shard& shard = shard_for(key);
+    std::scoped_lock lock(shard.mutex);
+    return shard.map.contains(key);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::scoped_lock lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Single-threaded visitation of every entry (shard by shard).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& shard : shards_) {
+      std::scoped_lock lock(shard.mutex);
+      for (const auto& [key, value] : shard.map) fn(key, value);
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return shards_[Hash{}(key) & (shards_.size() - 1)];
+  }
+  const Shard& shard_for(const Key& key) const {
+    return shards_[Hash{}(key) & (shards_.size() - 1)];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace pandarus::parallel

@@ -1,0 +1,251 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dms/deletion.hpp"
+#include "dms/rule.hpp"
+#include "dms/selector.hpp"
+#include "dms/transfer.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/recorder.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "wms/panda_server.hpp"
+#include "wms/workload.hpp"
+
+namespace pandarus::scenario {
+namespace {
+
+/// Creates one DISK RSE per site plus TAPE RSEs at T0/T1 sites.
+void create_rses(const grid::Topology& topology, dms::RseRegistry& rses) {
+  for (const grid::Site& site : topology.sites()) {
+    dms::Rse disk;
+    disk.name = site.name + "_DATADISK";
+    disk.site = site.id;
+    disk.kind = dms::RseKind::kDisk;
+    disk.capacity_bytes = site.storage_bytes;
+    rses.add(std::move(disk));
+    if (site.tier == grid::Tier::kT0 || site.tier == grid::Tier::kT1) {
+      dms::Rse tape;
+      tape.name = site.name + "_MCTAPE";
+      tape.site = site.id;
+      tape.kind = dms::RseKind::kTape;
+      tape.capacity_bytes = site.storage_bytes * 4;
+      rses.add(std::move(tape));
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_campaign(const ScenarioConfig& config) {
+  ScenarioResult result;
+  util::Rng rng(config.seed);
+
+  // --- substrate construction -------------------------------------------
+  grid::TopologyParams topo_params = config.topology;
+  topo_params.seed = util::hash_mix(config.seed, 0x7090);
+  result.topology = grid::build_wlcg_like(topo_params);
+  for (const grid::Site& s : result.topology.sites()) {
+    auto& site = result.topology.site_mutable(s.id);
+    site.cpu_slots = std::max<std::uint32_t>(
+        4, static_cast<std::uint32_t>(static_cast<double>(site.cpu_slots) *
+                                      config.slot_scale));
+  }
+  create_rses(result.topology, result.rses);
+
+  dms::ReplicaCatalog replicas(result.catalog, result.rses);
+  sim::Scheduler scheduler;
+
+  dms::TransferEngine engine(scheduler, result.topology, replicas,
+                             rng.fork(0x7e), config.transfer);
+  telemetry::Recorder recorder(result.store, result.catalog, rng.fork(0x2ec),
+                               config.recorder);
+  engine.set_sink(
+      [&recorder](const dms::TransferOutcome& o) { recorder.on_transfer(o); });
+
+  dms::RuleEngine rule_engine(scheduler, result.topology, result.catalog,
+                              replicas, result.rses, engine, rng.fork(0x21e),
+                              config.rules);
+
+  wms::Brokerage brokerage(result.topology, result.catalog, replicas,
+                           config.brokerage);
+  wms::SiteQueues queues(scheduler, result.topology, rng.fork(0x51));
+
+  wms::PandaServer::Hooks hooks;
+  hooks.on_job_complete = [&recorder](const wms::Job& job) {
+    recorder.on_job_complete(job);
+  };
+  hooks.on_task_complete = [&recorder, &rule_engine,
+                            &config](const wms::Task& task) {
+    recorder.on_task_complete(task);
+    // Production output datasets fall under the standard 2-copy T1 rule
+    // as they appear, sustaining rule-driven WAN traffic all campaign.
+    if (config.replicate_production_output &&
+        task.kind == wms::JobKind::kProduction &&
+        task.output_dataset != dms::kNoDataset) {
+      rule_engine.add_rule({task.output_dataset, 2, grid::Tier::kT1});
+    }
+  };
+
+  wms::PandaServer server(scheduler, result.topology, result.catalog,
+                          replicas, result.rses, engine, brokerage, queues,
+                          rng.fork(0x9a17da), config.panda, hooks);
+
+  wms::WorkloadGenerator workload(scheduler, result.topology, result.catalog,
+                                  replicas, result.rses, server,
+                                  rng.fork(0x303), config.workload);
+  workload.bootstrap_catalog();
+
+  // --- background data management ---------------------------------------
+  result.window_begin = 0;
+  result.window_end = util::days(config.days);
+  const util::SimTime arrivals_until =
+      result.window_end - util::days(config.arrival_tail_days);
+
+  // Replication rules over the most popular input datasets.
+  const auto& datasets = workload.input_datasets();
+  const std::size_t n_rules = std::min<std::size_t>(
+      config.replicated_datasets, datasets.size());
+  for (std::size_t i = 0; i < n_rules; ++i) {
+    rule_engine.add_rule({datasets[i], 2, grid::Tier::kT1});
+  }
+  rule_engine.start_periodic(result.window_end);
+
+  // Data-Carousel staging waves (paper §6, iDDS/Data Carousel): whole
+  // archived datasets are staged from a site's TAPE RSE to its DISK RSE.
+  // These local flows are what makes the Fig. 3 diagonal dominate, with
+  // the largest cells at the tape-heavy sites (CERN-like T0 first).
+  // All wave times are pre-scheduled, so no event outlives this scope.
+  const auto& archives = workload.tape_archives();
+  if (config.carousel_waves_per_day > 0.0 && !archives.empty()) {
+    util::Rng wave_rng = rng.fork(0xca0);
+    const auto wave_gap = static_cast<util::SimDuration>(
+        24.0 * 3600.0 * 1000.0 / config.carousel_waves_per_day);
+    for (util::SimTime at = wave_gap / 2; at < result.window_end;
+         at += wave_gap) {
+      std::vector<std::pair<dms::DatasetId, grid::SiteId>> picks;
+      for (std::uint32_t d = 0; d < config.datasets_per_wave; ++d) {
+        picks.push_back(archives[wave_rng.uniform_index(archives.size())]);
+      }
+      scheduler.schedule_at(at, [&rule_engine, picks = std::move(picks)] {
+        for (const auto& [ds, site] : picks) {
+          rule_engine.stage_from_tape(ds, site);
+        }
+      });
+    }
+  }
+
+  // Background churn: Rucio-style consolidation/pre-placement moving
+  // individual files between disk RSEs.  This rule-less traffic carries
+  // no jeditaskid and makes up the bulk of the event stream, as in the
+  // paper's window (5.2M of 6.78M transfers had no task identifier).
+  if (config.churn_files_per_day > 0.0 && !datasets.empty()) {
+    struct ChurnState {
+      util::Rng rng;
+      std::vector<grid::SiteId> disk_sites;
+      dms::ReplicaSelector selector;
+    };
+    auto churn = std::make_shared<ChurnState>(ChurnState{
+        rng.fork(0xc4),
+        {},
+        dms::ReplicaSelector(result.topology, result.rses, replicas)});
+    for (const grid::Site& s : result.topology.sites()) {
+      if (s.tier != grid::Tier::kT3 &&
+          result.rses.disk_at(s.id) != dms::kNoRse) {
+        churn->disk_sites.push_back(s.id);
+      }
+    }
+    const auto churn_gap = static_cast<util::SimDuration>(
+        24.0 * 3600.0 * 1000.0 / config.churn_files_per_day);
+    for (util::SimTime at = churn_gap; at < result.window_end;
+         at += churn_gap) {
+      scheduler.schedule_at(at, [churn, &scheduler, &engine, &replicas,
+                                 &result, &datasets, &config] {
+        const dms::DatasetId ds =
+            datasets[churn->rng.uniform_index(datasets.size())];
+        const auto files = result.catalog.files_of(ds);
+        if (files.empty() || churn->disk_sites.empty()) return;
+        const dms::FileId file =
+            files[churn->rng.uniform_index(files.size())];
+        dms::TransferRequest req;
+        req.file = file;
+        req.size_bytes = result.catalog.file(file).size_bytes;
+        req.activity = dms::Activity::kDataRebalance;
+        if (churn->rng.bernoulli(config.churn_local_fraction)) {
+          // Intra-site consolidation: move the file between pools of one
+          // facility that already holds it.
+          dms::RseId holder = dms::kNoRse;
+          for (dms::RseId r : replicas.replicas(file)) {
+            if (result.rses.rse(r).kind == dms::RseKind::kDisk) {
+              holder = r;
+              break;
+            }
+          }
+          if (holder == dms::kNoRse) return;
+          const grid::SiteId site = result.rses.rse(holder).site;
+          req.src = site;
+          req.dst = site;
+          req.dst_rse = holder;
+        } else {
+          const grid::SiteId dst =
+              churn->disk_sites[churn->rng.uniform_index(
+                  churn->disk_sites.size())];
+          if (replicas.on_disk_at_site(file, dst)) return;
+          const dms::RseId src_rse =
+              churn->selector.select_source(file, dst, scheduler.now());
+          if (src_rse == dms::kNoRse) return;
+          req.src = result.rses.rse(src_rse).site;
+          req.dst = dst;
+          req.dst_rse = result.rses.disk_at(dst);
+        }
+        engine.submit(std::move(req));
+      });
+    }
+  }
+
+  // Lifetime eviction (Rucio's deletion daemon): transient disk replicas
+  // of tape-only datasets expire periodically, so cold data goes cold
+  // again and later jobs must re-stage — sustaining the Analysis/
+  // Production Download populations instead of a one-shot warm-up.
+  dms::DeletionDaemon::Params deletion_params;
+  if (config.eviction_sweeps_per_day > 0.0) {
+    deletion_params.sweep_interval = static_cast<util::SimDuration>(
+        24.0 * 3600.0 * 1000.0 / config.eviction_sweeps_per_day);
+  }
+  deletion_params.expiry_prob = config.eviction_probability;
+  dms::DeletionDaemon deletion(scheduler, result.catalog, replicas,
+                               result.rses, rng.fork(0xe71c),
+                               deletion_params);
+  for (dms::DatasetId ds : workload.tape_only_datasets()) {
+    deletion.add_transient(ds);
+  }
+  if (config.eviction_sweeps_per_day > 0.0) {
+    deletion.start(result.window_end);
+  }
+
+  workload.start(arrivals_until);
+  scheduler.run_until(result.window_end + util::days(3));
+
+  if (!scheduler.empty()) {
+    util::log_warning() << "campaign drained incompletely: events remain "
+                           "after the grace window";
+  }
+
+  // --- post-processing ----------------------------------------------------
+  if (config.apply_corruption) {
+    result.corruption = telemetry::inject_corruption(
+        result.store, config.corruption, rng.fork(0xc0de));
+  }
+
+  result.panda = server.stats();
+  result.deletion = deletion.stats();
+  result.transfers = engine.stats();
+  result.rules = rule_engine.stats();
+  result.workload = workload.stats();
+  result.events_processed = scheduler.processed_count();
+  return result;
+}
+
+}  // namespace pandarus::scenario

@@ -1,0 +1,39 @@
+#include "scenario/config.hpp"
+
+namespace pandarus::scenario {
+
+ScenarioConfig ScenarioConfig::small() {
+  ScenarioConfig cfg;
+  cfg.days = 0.5;
+  cfg.arrival_tail_days = 0.15;
+  cfg.topology.n_tier1 = 4;
+  cfg.topology.n_tier2 = 8;
+  cfg.topology.n_tier3 = 2;
+  cfg.workload.n_input_datasets = 60;
+  cfg.workload.user_tasks_per_day = 120.0;
+  cfg.workload.prod_tasks_per_day = 30.0;
+  cfg.replicated_datasets = 30;
+  cfg.carousel_waves_per_day = 16.0;
+  cfg.datasets_per_wave = 2;
+  cfg.churn_files_per_day = 3'000.0;
+  return cfg;
+}
+
+ScenarioConfig ScenarioConfig::paper_scale() {
+  ScenarioConfig cfg;
+  cfg.days = 8.0;
+  return cfg;
+}
+
+ScenarioConfig ScenarioConfig::heatmap_campaign() {
+  ScenarioConfig cfg;
+  cfg.days = 20.0;
+  cfg.arrival_tail_days = 1.0;
+  cfg.workload.user_tasks_per_day = 180.0;
+  cfg.workload.prod_tasks_per_day = 60.0;
+  cfg.carousel_waves_per_day = 20.0;
+  cfg.datasets_per_wave = 6;
+  return cfg;
+}
+
+}  // namespace pandarus::scenario

@@ -1,0 +1,65 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace pandarus::sim {
+
+struct Scheduler::EventHandle::State {
+  Callback callback;
+  bool cancelled = false;
+  bool fired = false;
+};
+
+bool Scheduler::EventHandle::cancel() noexcept {
+  if (!state_ || state_->cancelled || state_->fired) return false;
+  state_->cancelled = true;
+  state_->callback = nullptr;  // release captures eagerly
+  return true;
+}
+
+bool Scheduler::EventHandle::pending() const noexcept {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+Scheduler::EventHandle Scheduler::schedule_at(SimTime t, Callback fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  state->callback = std::move(fn);
+  queue_.push(Entry{std::max(t, now_), next_seq_++, state});
+  return EventHandle(std::move(state));
+}
+
+Scheduler::EventHandle Scheduler::schedule_after(SimDuration delay,
+                                                 Callback fn) {
+  return schedule_at(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.time;
+    entry.state->fired = true;
+    Callback fn = std::move(entry.state->callback);
+    entry.state->callback = nullptr;
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace pandarus::sim

@@ -1,0 +1,47 @@
+#include "telemetry/query.hpp"
+
+namespace pandarus::telemetry {
+
+std::vector<std::size_t> TransferQuery::indices() const {
+  std::vector<std::size_t> out;
+  for_each([&out](std::size_t i, const TransferRecord&) {
+    out.push_back(i);
+  });
+  return out;
+}
+
+std::size_t TransferQuery::count() const {
+  std::size_t n = 0;
+  for_each([&n](std::size_t, const TransferRecord&) { ++n; });
+  return n;
+}
+
+std::uint64_t TransferQuery::total_bytes() const {
+  std::uint64_t total = 0;
+  for_each([&total](std::size_t, const TransferRecord& t) {
+    total += t.file_size;
+  });
+  return total;
+}
+
+std::vector<std::size_t> JobQuery::indices() const {
+  std::vector<std::size_t> out;
+  for_each([&out](std::size_t i, const JobRecord&) { out.push_back(i); });
+  return out;
+}
+
+std::size_t JobQuery::count() const {
+  std::size_t n = 0;
+  for_each([&n](std::size_t, const JobRecord&) { ++n; });
+  return n;
+}
+
+util::SimDuration JobQuery::total_queuing_time() const {
+  util::SimDuration total = 0;
+  for_each([&total](std::size_t, const JobRecord& j) {
+    total += j.queuing_time();
+  });
+  return total;
+}
+
+}  // namespace pandarus::telemetry

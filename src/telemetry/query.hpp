@@ -1,0 +1,147 @@
+// Composable queries over the MetadataStore — the ergonomic face of the
+// OpenSearch stand-in (paper Fig. 4's "querying module").
+//
+//   auto bytes = TransferQuery(store)
+//                    .activity(dms::Activity::kAnalysisDownload)
+//                    .to_site(site)
+//                    .started_in(t0, t1)
+//                    .successful()
+//                    .total_bytes();
+//
+// Filters AND together; terminals (`indices`, `count`, `total_bytes`,
+// `for_each`) evaluate lazily in one pass over the store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "telemetry/store.hpp"
+
+namespace pandarus::telemetry {
+
+class TransferQuery {
+ public:
+  explicit TransferQuery(const MetadataStore& store) : store_(&store) {}
+
+  TransferQuery& started_in(util::SimTime t0, util::SimTime t1) {
+    return where([t0, t1](const TransferRecord& t) {
+      return t.started_at >= t0 && t.started_at < t1;
+    });
+  }
+  TransferQuery& activity(dms::Activity a) {
+    return where([a](const TransferRecord& t) { return t.activity == a; });
+  }
+  TransferQuery& from_site(grid::SiteId site) {
+    return where(
+        [site](const TransferRecord& t) { return t.source_site == site; });
+  }
+  TransferQuery& to_site(grid::SiteId site) {
+    return where([site](const TransferRecord& t) {
+      return t.destination_site == site;
+    });
+  }
+  TransferQuery& successful(bool value = true) {
+    return where(
+        [value](const TransferRecord& t) { return t.success == value; });
+  }
+  TransferQuery& with_taskid(bool value = true) {
+    return where([value](const TransferRecord& t) {
+      return t.has_jeditaskid() == value;
+    });
+  }
+  TransferQuery& local(bool value = true) {
+    return where(
+        [value](const TransferRecord& t) { return t.is_local() == value; });
+  }
+  TransferQuery& larger_than(std::uint64_t bytes) {
+    return where(
+        [bytes](const TransferRecord& t) { return t.file_size > bytes; });
+  }
+  /// Arbitrary predicate escape hatch.
+  TransferQuery& where(std::function<bool(const TransferRecord&)> pred) {
+    predicates_.push_back(std::move(pred));
+    return *this;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const auto transfers = store_->transfers();
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      if (passes(transfers[i])) fn(i, transfers[i]);
+    }
+  }
+  [[nodiscard]] std::vector<std::size_t> indices() const;
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+ private:
+  [[nodiscard]] bool passes(const TransferRecord& t) const {
+    for (const auto& pred : predicates_) {
+      if (!pred(t)) return false;
+    }
+    return true;
+  }
+
+  const MetadataStore* store_;
+  std::vector<std::function<bool(const TransferRecord&)>> predicates_;
+};
+
+class JobQuery {
+ public:
+  explicit JobQuery(const MetadataStore& store) : store_(&store) {}
+
+  JobQuery& completed_in(util::SimTime t0, util::SimTime t1) {
+    return where([t0, t1](const JobRecord& j) {
+      return j.end_time >= t0 && j.end_time < t1;
+    });
+  }
+  JobQuery& at_site(grid::SiteId site) {
+    return where(
+        [site](const JobRecord& j) { return j.computing_site == site; });
+  }
+  JobQuery& failed(bool value = true) {
+    return where([value](const JobRecord& j) { return j.failed == value; });
+  }
+  JobQuery& with_error(std::int32_t code) {
+    return where([code](const JobRecord& j) { return j.error_code == code; });
+  }
+  JobQuery& task_status(wms::TaskStatus status) {
+    return where(
+        [status](const JobRecord& j) { return j.task_status == status; });
+  }
+  JobQuery& direct_io(bool value = true) {
+    return where(
+        [value](const JobRecord& j) { return j.direct_io == value; });
+  }
+  JobQuery& where(std::function<bool(const JobRecord&)> pred) {
+    predicates_.push_back(std::move(pred));
+    return *this;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const auto jobs = store_->jobs();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (passes(jobs[i])) fn(i, jobs[i]);
+    }
+  }
+  [[nodiscard]] std::vector<std::size_t> indices() const;
+  [[nodiscard]] std::size_t count() const;
+  /// Sum of the selected jobs' queuing times (handy for per-site delay
+  /// accounting).
+  [[nodiscard]] util::SimDuration total_queuing_time() const;
+
+ private:
+  [[nodiscard]] bool passes(const JobRecord& j) const {
+    for (const auto& pred : predicates_) {
+      if (!pred(j)) return false;
+    }
+    return true;
+  }
+
+  const MetadataStore* store_;
+  std::vector<std::function<bool(const JobRecord&)>> predicates_;
+};
+
+}  // namespace pandarus::telemetry

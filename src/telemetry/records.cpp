@@ -1,0 +1,5 @@
+#include "telemetry/records.hpp"
+
+// Records are plain data; this TU anchors the module library.
+
+namespace pandarus::telemetry {}  // namespace pandarus::telemetry

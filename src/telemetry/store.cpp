@@ -1,0 +1,56 @@
+#include "telemetry/store.hpp"
+
+namespace pandarus::telemetry {
+
+void MetadataStore::record_job(JobRecord record) {
+  jobs_by_task_[record.jeditaskid].push_back(jobs_.size());
+  jobs_.push_back(std::move(record));
+}
+
+void MetadataStore::record_file(FileRecord record) {
+  files_.push_back(std::move(record));
+}
+
+void MetadataStore::record_transfer(TransferRecord record) {
+  transfers_.push_back(std::move(record));
+}
+
+void MetadataStore::finalize_task(std::int64_t jeditaskid,
+                                  wms::TaskStatus status) {
+  auto it = jobs_by_task_.find(jeditaskid);
+  if (it == jobs_by_task_.end()) return;
+  for (std::size_t idx : it->second) jobs_[idx].task_status = status;
+}
+
+std::vector<std::size_t> MetadataStore::jobs_completed_in(
+    util::SimTime t0, util::SimTime t1) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].end_time >= t0 && jobs_[i].end_time < t1) result.push_back(i);
+  }
+  return result;
+}
+
+std::vector<std::size_t> MetadataStore::transfers_started_in(
+    util::SimTime t0, util::SimTime t1) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < transfers_.size(); ++i) {
+    if (transfers_[i].started_at >= t0 && transfers_[i].started_at < t1) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+MetadataStore::Counts MetadataStore::counts() const noexcept {
+  Counts c;
+  c.jobs = jobs_.size();
+  c.files = files_.size();
+  c.transfers = transfers_.size();
+  for (const auto& t : transfers_) {
+    if (t.has_jeditaskid()) ++c.transfers_with_taskid;
+  }
+  return c;
+}
+
+}  // namespace pandarus::telemetry

@@ -1,0 +1,76 @@
+// MetadataStore: the OpenSearch stand-in (paper §4.1).
+//
+// Append-only record streams with the time-window query semantics the
+// paper relies on: the query module "only reports jobs that are completed
+// before the end of the interval, excluding all jobs still running"
+// (§4.2).  Indexes used by the matcher (file records by (pandaid,
+// jeditaskid), transfers by lfn) are built on demand by the core module;
+// the store itself stays a dumb, faithful record base.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/records.hpp"
+
+namespace pandarus::telemetry {
+
+class MetadataStore {
+ public:
+  void record_job(JobRecord record);
+  void record_file(FileRecord record);
+  void record_transfer(TransferRecord record);
+
+  /// Backfills the final task status on every job record of the task
+  /// (job records are written at job completion, before their task
+  /// reaches a terminal state).
+  void finalize_task(std::int64_t jeditaskid, wms::TaskStatus status);
+
+  [[nodiscard]] std::span<const JobRecord> jobs() const noexcept {
+    return jobs_;
+  }
+  [[nodiscard]] std::span<const FileRecord> files() const noexcept {
+    return files_;
+  }
+  [[nodiscard]] std::span<const TransferRecord> transfers() const noexcept {
+    return transfers_;
+  }
+
+  // Mutable access for the corruption injector only.
+  [[nodiscard]] std::vector<JobRecord>& jobs_mutable() noexcept {
+    return jobs_;
+  }
+  [[nodiscard]] std::vector<FileRecord>& files_mutable() noexcept {
+    return files_;
+  }
+  [[nodiscard]] std::vector<TransferRecord>& transfers_mutable() noexcept {
+    return transfers_;
+  }
+
+  /// Indices of jobs completed within [t0, t1) — the paper's window
+  /// pre-selection: a job is visible only once it has completed.
+  [[nodiscard]] std::vector<std::size_t> jobs_completed_in(
+      util::SimTime t0, util::SimTime t1) const;
+
+  /// Indices of transfers that started within [t0, t1).
+  [[nodiscard]] std::vector<std::size_t> transfers_started_in(
+      util::SimTime t0, util::SimTime t1) const;
+
+  struct Counts {
+    std::size_t jobs = 0;
+    std::size_t files = 0;
+    std::size_t transfers = 0;
+    std::size_t transfers_with_taskid = 0;
+  };
+  [[nodiscard]] Counts counts() const noexcept;
+
+ private:
+  std::vector<JobRecord> jobs_;
+  std::vector<FileRecord> files_;
+  std::vector<TransferRecord> transfers_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> jobs_by_task_;
+};
+
+}  // namespace pandarus::telemetry

@@ -1,0 +1,75 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pandarus::util {
+
+std::string format_bytes(double bytes, int precision) {
+  static constexpr std::array<const char*, 7> kUnits = {
+      "B", "KB", "MB", "GB", "TB", "PB", "EB"};
+  const bool negative = bytes < 0;
+  double v = std::abs(bytes);
+  std::size_t unit = 0;
+  while (v >= 1000.0 && unit + 1 < kUnits.size()) {
+    v /= 1000.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%.*f %s", negative ? "-" : "", precision,
+                v, kUnits[unit]);
+  return buf;
+}
+
+std::string format_rate(double bytes_per_sec, int precision) {
+  char buf[64];
+  const double mbps = bytes_per_sec / 1e6;
+  if (mbps >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.*f GBps", precision, mbps / 1000.0);
+  } else if (mbps >= 0.1) {
+    std::snprintf(buf, sizeof buf, "%.*f MBps", precision, mbps);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f KBps", precision,
+                  bytes_per_sec / 1e3);
+  }
+  return buf;
+}
+
+namespace {
+
+std::string with_separators(std::string digits) {
+  // Insert ',' every three digits from the right.
+  const auto first =
+      digits.size() > 0 && (digits[0] == '-') ? std::size_t{1} : std::size_t{0};
+  std::size_t i = digits.size();
+  while (i > first + 3) {
+    i -= 3;
+    digits.insert(i, 1, ',');
+  }
+  return digits;
+}
+
+}  // namespace
+
+std::string format_count(std::uint64_t n) {
+  return with_separators(std::to_string(n));
+}
+
+std::string format_count(std::int64_t n) {
+  return with_separators(std::to_string(n));
+}
+
+std::string format_percent(double fraction, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string format_fixed(double x, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, x);
+  return buf;
+}
+
+}  // namespace pandarus::util

@@ -1,0 +1,26 @@
+// Human-readable number formatting for reports and tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pandarus::util {
+
+/// "4.6 GB", "20.5 GB", "957.98 PB" — decimal (SI) units, as used in the
+/// paper's figures and tables.
+[[nodiscard]] std::string format_bytes(double bytes, int precision = 2);
+
+/// "163.9 MBps" — throughput in decimal megabytes per second.
+[[nodiscard]] std::string format_rate(double bytes_per_sec, int precision = 1);
+
+/// "1,585,229" — thousands separators.
+[[nodiscard]] std::string format_count(std::uint64_t n);
+[[nodiscard]] std::string format_count(std::int64_t n);
+
+/// "8.43%" with the given precision.
+[[nodiscard]] std::string format_percent(double fraction, int precision = 2);
+
+/// Fixed-precision double.
+[[nodiscard]] std::string format_fixed(double x, int precision = 2);
+
+}  // namespace pandarus::util

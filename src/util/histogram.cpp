@@ -1,0 +1,122 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace pandarus::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(counts_.size() == other.counts_.size() && lo_ == other.lo_ &&
+         hi_ == other.hi_);
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(),
+                         underflow_ + overflow_);
+}
+
+double Histogram::cumulative_below(double x) const noexcept {
+  if (x <= lo_) return 0.0;
+  double acc = static_cast<double>(underflow_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (x >= bin_hi(i)) {
+      acc += static_cast<double>(counts_[i]);
+    } else if (x > bin_lo(i)) {
+      acc += static_cast<double>(counts_[i]) * (x - bin_lo(i)) / width_;
+      return acc;
+    } else {
+      return acc;
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+std::string bar(std::uint64_t count, std::uint64_t peak,
+                std::size_t max_width) {
+  if (peak == 0) return {};
+  auto w = static_cast<std::size_t>(
+      static_cast<double>(count) / static_cast<double>(peak) *
+      static_cast<double>(max_width));
+  if (count > 0 && w == 0) w = 1;
+  return std::string(w, '#');
+}
+
+}  // namespace
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  if (underflow_ > 0) os << "  < lo: " << underflow_ << '\n';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    os << "  [" << bin_lo(i) << ", " << bin_hi(i) << "): " << counts_[i]
+       << "  " << bar(counts_[i], peak, max_width) << '\n';
+  }
+  if (overflow_ > 0) os << "  >= hi: " << overflow_ << '\n';
+  return os.str();
+}
+
+void Log2Histogram::add(double x) noexcept {
+  if (x <= 0.0 || !std::isfinite(x)) {
+    ++nonpositive_;
+    return;
+  }
+  int e = static_cast<int>(std::floor(std::log2(x)));
+  e = std::clamp(e, kMinExp, kMaxExp - 1);
+  ++counts_[static_cast<std::size_t>(e - kMinExp)];
+  ++total_;
+}
+
+std::string Log2Histogram::to_string(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  if (nonpositive_ > 0) os << "  <= 0: " << nonpositive_ << '\n';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int e = kMinExp + static_cast<int>(i);
+    os << "  [2^" << e << ", 2^" << (e + 1) << "): " << counts_[i] << "  "
+       << bar(counts_[i], peak, max_width) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pandarus::util

@@ -1,0 +1,62 @@
+// Fixed-width and logarithmic histograms for distribution reporting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pandarus::util {
+
+/// Linear histogram over [lo, hi) with `bins` equal-width buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Count of samples with value < x (interpolating inside the bin that
+  /// contains x); used for threshold sweeps.
+  [[nodiscard]] double cumulative_below(double x) const noexcept;
+
+  /// Compact multi-line ASCII rendering (one row per non-empty bin).
+  [[nodiscard]] std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Log2 histogram for heavy-tailed positive quantities (file sizes,
+/// durations): bucket i counts samples in [2^i, 2^(i+1)).
+class Log2Histogram {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 70;
+  std::vector<std::uint64_t> counts_ =
+      std::vector<std::uint64_t>(kMaxExp - kMinExp, 0);
+  std::uint64_t total_ = 0;
+  std::uint64_t nonpositive_ = 0;
+};
+
+}  // namespace pandarus::util

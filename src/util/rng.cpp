@@ -1,0 +1,148 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pandarus::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Rng Rng::fork(std::uint64_t tag) noexcept {
+  // Derive a child seed from the parent state and the tag, then advance
+  // the parent so repeated forks with the same tag differ.
+  std::uint64_t child_seed = hash_mix(next_u64(), tag, 0x9e3779b97f4a7c15ULL);
+  return Rng(child_seed);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Debiased modulo (Lemire-style rejection).
+  std::uint64_t x = next_u64();
+  std::uint64_t threshold = (0 - range) % range;
+  while (x < threshold) x = next_u64();
+  return lo + static_cast<std::int64_t>(x % range);
+}
+
+std::size_t Rng::uniform_index(std::size_t n) noexcept {
+  assert(n > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  // -mean * log(1 - u); 1 - u in (0, 1] avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  // Box–Muller; u1 in (0,1].
+  double u1 = 1.0 - next_double();
+  double u2 = next_double();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  return mu + sigma * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal_median(double median, double sigma) noexcept {
+  assert(median > 0.0);
+  return median * std::exp(normal(0.0, sigma));
+}
+
+double Rng::pareto_bounded(double lo, double hi, double alpha) noexcept {
+  assert(lo > 0.0 && hi > lo && alpha > 0.0);
+  const double u = next_double();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's method.
+    const double limit = std::exp(-mean);
+    double prod = next_double();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= next_double();
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction for large means.
+  double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double target = next_double() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) noexcept {
+  SplitMix64 sm(a ^ rotl(b, 23) ^ rotl(c, 47));
+  std::uint64_t h = sm.next();
+  h ^= sm.next();
+  return h;
+}
+
+double hash_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace pandarus::util

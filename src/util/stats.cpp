@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pandarus::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+
+double OnlineStats::max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+void GeometricMean::add(double x) noexcept {
+  if (x <= 0.0 || !std::isfinite(x)) {
+    ++skipped_;
+    return;
+  }
+  ++n_;
+  log_sum_ += std::log(x);
+}
+
+void GeometricMean::merge(const GeometricMean& other) noexcept {
+  n_ += other.n_;
+  skipped_ += other.skipped_;
+  log_sum_ += other.log_sum_;
+}
+
+double GeometricMean::value() const noexcept {
+  return n_ == 0 ? 0.0 : std::exp(log_sum_ / static_cast<double>(n_));
+}
+
+double quantile(std::span<const double> values, double q) {
+  Quantiles quantiles(std::vector<double>(values.begin(), values.end()));
+  return quantiles(q);
+}
+
+Quantiles::Quantiles(std::vector<double> values) : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Quantiles::operator()(double q) const {
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  OnlineStats sx;
+  OnlineStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(x[i]);
+    sy.add(y[i]);
+  }
+  const double mx = sx.mean();
+  const double my = sy.mean();
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) cov += (x[i] - mx) * (y[i] - my);
+  const double denom = sx.stddev() * sy.stddev() * static_cast<double>(n - 1);
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+}  // namespace pandarus::util

@@ -1,0 +1,85 @@
+// Streaming and batch statistics used throughout the analysis layer.
+//
+// The paper reports arithmetic means, geometric means (e.g. per-site-pair
+// transfer volume: mean 77.75 TB vs geometric mean 1.11 TB) and percentile
+// structure of heavy-tailed distributions, so both kinds of accumulators
+// are first-class here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pandarus::util {
+
+/// Welford online accumulator: mean / variance / min / max in one pass.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the observed values; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric-mean accumulator over strictly positive samples.
+/// Non-positive samples are counted separately and excluded, mirroring how
+/// the paper computes the geometric mean over non-zero site pairs only.
+class GeometricMean {
+ public:
+  void add(double x) noexcept;
+  void merge(const GeometricMean& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+  /// Geometric mean of positive samples; 0 when none were observed.
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t skipped_ = 0;
+  double log_sum_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of `values` using linear
+/// interpolation between order statistics.  The input is copied and
+/// sorted; for repeated queries use `Quantiles`.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Pre-sorted quantile evaluator for repeated queries over one sample.
+class Quantiles {
+ public:
+  explicit Quantiles(std::vector<double> values);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double operator()(double q) const;
+  [[nodiscard]] double median() const { return (*this)(0.5); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Pearson correlation coefficient of two equally sized samples.
+/// Returns 0 when either side has zero variance or fewer than 2 points.
+/// The paper uses this kind of check ("no significant correlation between
+/// total transfer size and queuing time", §5.3 / Fig. 5).
+[[nodiscard]] double pearson_correlation(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace pandarus::util

@@ -1,0 +1,82 @@
+#include "util/time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace pandarus::util {
+namespace {
+
+bool is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return kDays[static_cast<std::size_t>(month - 1)];
+}
+
+}  // namespace
+
+std::string format_time(SimTime t, const CalendarAnchor& anchor) {
+  // Negative times are clamped to the anchor for display purposes.
+  std::int64_t total_sec = t >= 0 ? t / 1000 : 0;
+  int year = anchor.year;
+  int month = anchor.month;
+  int day = anchor.day;
+  std::int64_t day_count = total_sec / 86400;
+  std::int64_t rem = total_sec % 86400;
+  while (day_count > 0) {
+    const int dim = days_in_month(year, month);
+    if (day + day_count <= dim) {
+      day += static_cast<int>(day_count);
+      day_count = 0;
+    } else {
+      day_count -= (dim - day + 1);
+      day = 1;
+      if (++month > 12) {
+        month = 1;
+        ++year;
+      }
+    }
+  }
+  const int hh = static_cast<int>(rem / 3600);
+  const int mm = static_cast<int>((rem % 3600) / 60);
+  const int ss = static_cast<int>(rem % 60);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02d-%02d %02d:%02d:%02d", month, day, hh,
+                mm, ss);
+  return buf;
+}
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  if (d < 0) d = 0;
+  const double sec = to_seconds(d);
+  if (sec < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", sec);
+    return buf;
+  }
+  const std::int64_t total = d / 1000;
+  const std::int64_t dd = total / 86400;
+  const std::int64_t hh = (total % 86400) / 3600;
+  const std::int64_t mm = (total % 3600) / 60;
+  const std::int64_t ss = total % 60;
+  if (dd > 0) {
+    std::snprintf(buf, sizeof buf, "%lldd %02lldh %02lldm %02llds",
+                  static_cast<long long>(dd), static_cast<long long>(hh),
+                  static_cast<long long>(mm), static_cast<long long>(ss));
+  } else if (hh > 0) {
+    std::snprintf(buf, sizeof buf, "%lldh %02lldm %02llds",
+                  static_cast<long long>(hh), static_cast<long long>(mm),
+                  static_cast<long long>(ss));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldm %02llds",
+                  static_cast<long long>(mm), static_cast<long long>(ss));
+  }
+  return buf;
+}
+
+}  // namespace pandarus::util

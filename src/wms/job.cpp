@@ -1,0 +1,18 @@
+#include "wms/job.hpp"
+
+namespace pandarus::wms::errors {
+
+const char* message(std::int32_t code) noexcept {
+  switch (code) {
+    case kNone: return "OK";
+    case kStageInTimeout: return "Stage-in did not complete in time";
+    case kLostHeartbeat: return "Lost heartbeat";
+    case kExecutionFailure: return "Payload execution failed";
+    case kSiteServiceError: return "Site service error";
+    case kOverlay: return "Non-zero return code from Overlay (1)";
+    case kStageOutFailure: return "Stage-out failure";
+  }
+  return "Unknown error";
+}
+
+}  // namespace pandarus::wms::errors

@@ -1,0 +1,116 @@
+// Jobs and tasks (paper §2.1).
+//
+// A JEDI task (jeditaskid) fans out into jobs (pandaid).  User-analysis
+// jobs are the population the paper studies (its 8-day window collected
+// 966,453 *user* jobs); production jobs exist in the simulation because
+// their transfers dominate the transfer-event population (Table 1:
+// 824,963 Production Upload events) even though they never match.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dms/did.hpp"
+#include "grid/site.hpp"
+#include "util/time.hpp"
+
+namespace pandarus::wms {
+
+using JobId = std::int64_t;
+using TaskId = std::int64_t;
+
+enum class JobKind : std::uint8_t { kUserAnalysis = 0, kProduction = 1 };
+
+enum class JobStatus : std::uint8_t {
+  kPending = 0,   ///< submitted, not yet assigned
+  kStaging = 1,   ///< waiting for input transfers
+  kQueued = 2,    ///< waiting for a slot at the site
+  kRunning = 3,
+  kFinished = 4,  ///< terminal success
+  kFailed = 5,    ///< terminal failure
+};
+
+enum class TaskStatus : std::uint8_t {
+  kRunning = 0,
+  kDone = 1,    ///< all jobs finished successfully
+  kFailed = 2,  ///< at least one job failed
+};
+
+/// PanDA pilot-style error codes for failed jobs.  kOverlay is the
+/// paper's Fig. 11 example ("Non-zero return code from Overlay (1)",
+/// code 1305).
+namespace errors {
+inline constexpr std::int32_t kNone = 0;
+inline constexpr std::int32_t kStageInTimeout = 1099;
+inline constexpr std::int32_t kLostHeartbeat = 1110;
+inline constexpr std::int32_t kExecutionFailure = 1187;
+inline constexpr std::int32_t kSiteServiceError = 1201;
+inline constexpr std::int32_t kOverlay = 1305;
+inline constexpr std::int32_t kStageOutFailure = 1137;
+
+[[nodiscard]] const char* message(std::int32_t code) noexcept;
+}  // namespace errors
+
+struct Job {
+  JobId pandaid = 0;
+  TaskId jeditaskid = 0;
+  JobKind kind = JobKind::kUserAnalysis;
+
+  std::vector<dms::FileId> input_files;
+  std::vector<dms::FileId> output_files;
+  std::uint64_t ninputfilebytes = 0;
+  std::uint64_t noutputfilebytes = 0;
+
+  /// True when inputs stream during execution instead of pre-staging
+  /// (the paper's "Analysis Download Direct IO" activity).
+  bool direct_io = false;
+
+  /// Nominal execution time on a speed-1.0 slot, before site scaling.
+  util::SimDuration base_exec_ms = 0;
+
+  /// Attempt number; PanDA resubmits failed jobs as fresh pandaids, so
+  /// retries appear in telemetry as separate job records (the source of
+  /// Fig. 9's "job failed within a successful task" class).
+  std::uint32_t attempt = 1;
+
+  /// Brokerage/batch priority (paper §2.1: jobs are "assigned to
+  /// computing sites by a brokerage module, based on many criteria such
+  /// as job type, priority, ...").  Higher runs first at a site.
+  std::int32_t priority = 0;
+
+  grid::SiteId computing_site = grid::kUnknownSite;
+  util::SimTime creation_time = 0;
+  util::SimTime start_time = util::kNever;
+  util::SimTime end_time = util::kNever;
+
+  JobStatus status = JobStatus::kPending;
+  std::int32_t error_code = errors::kNone;
+
+  [[nodiscard]] util::SimDuration queuing_time() const noexcept {
+    return start_time == util::kNever ? 0 : start_time - creation_time;
+  }
+  [[nodiscard]] util::SimDuration wall_time() const noexcept {
+    return (start_time == util::kNever || end_time == util::kNever)
+               ? 0
+               : end_time - start_time;
+  }
+};
+
+struct Task {
+  TaskId jeditaskid = 0;
+  JobKind kind = JobKind::kUserAnalysis;
+  std::string user;  ///< owner, e.g. "user.aphys042"
+  std::vector<dms::DatasetId> input_datasets;
+  dms::DatasetId output_dataset = dms::kNoDataset;
+  std::uint32_t total_jobs = 0;
+  std::uint32_t completed_jobs = 0;
+  std::uint32_t failed_jobs = 0;
+  TaskStatus status = TaskStatus::kRunning;
+
+  [[nodiscard]] bool all_jobs_done() const noexcept {
+    return completed_jobs + failed_jobs >= total_jobs;
+  }
+};
+
+}  // namespace pandarus::wms
