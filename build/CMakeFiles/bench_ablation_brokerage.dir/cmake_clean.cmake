@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_brokerage.dir/bench/bench_ablation_brokerage.cpp.o"
+  "CMakeFiles/bench_ablation_brokerage.dir/bench/bench_ablation_brokerage.cpp.o.d"
+  "bench/bench_ablation_brokerage"
+  "bench/bench_ablation_brokerage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_brokerage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

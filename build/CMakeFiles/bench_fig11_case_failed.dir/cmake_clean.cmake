@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_case_failed.dir/bench/bench_fig11_case_failed.cpp.o"
+  "CMakeFiles/bench_fig11_case_failed.dir/bench/bench_fig11_case_failed.cpp.o.d"
+  "bench/bench_fig11_case_failed"
+  "bench/bench_fig11_case_failed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_case_failed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_case_rm2_redundant.dir/bench/bench_fig12_case_rm2_redundant.cpp.o"
+  "CMakeFiles/bench_fig12_case_rm2_redundant.dir/bench/bench_fig12_case_rm2_redundant.cpp.o.d"
+  "bench/bench_fig12_case_rm2_redundant"
+  "bench/bench_fig12_case_rm2_redundant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_case_rm2_redundant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_top_local_jobs.dir/bench/bench_fig5_top_local_jobs.cpp.o"
+  "CMakeFiles/bench_fig5_top_local_jobs.dir/bench/bench_fig5_top_local_jobs.cpp.o.d"
+  "bench/bench_fig5_top_local_jobs"
+  "bench/bench_fig5_top_local_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_top_local_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_remote_bandwidth.cpp" "CMakeFiles/bench_fig7_remote_bandwidth.dir/bench/bench_fig7_remote_bandwidth.cpp.o" "gcc" "CMakeFiles/bench_fig7_remote_bandwidth.dir/bench/bench_fig7_remote_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandarus_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

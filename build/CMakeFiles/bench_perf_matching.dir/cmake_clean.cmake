@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_matching.dir/bench/bench_perf_matching.cpp.o"
+  "CMakeFiles/bench_perf_matching.dir/bench/bench_perf_matching.cpp.o.d"
+  "bench/bench_perf_matching"
+  "bench/bench_perf_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

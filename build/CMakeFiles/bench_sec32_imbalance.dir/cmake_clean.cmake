@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_imbalance.dir/bench/bench_sec32_imbalance.cpp.o"
+  "CMakeFiles/bench_sec32_imbalance.dir/bench/bench_sec32_imbalance.cpp.o.d"
+  "bench/bench_sec32_imbalance"
+  "bench/bench_sec32_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_exact_summary.dir/bench/bench_sec51_exact_summary.cpp.o"
+  "CMakeFiles/bench_sec51_exact_summary.dir/bench/bench_sec51_exact_summary.cpp.o.d"
+  "bench/bench_sec51_exact_summary"
+  "bench/bench_sec51_exact_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_exact_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_activity_breakdown.dir/bench/bench_table1_activity_breakdown.cpp.o"
+  "CMakeFiles/bench_table1_activity_breakdown.dir/bench/bench_table1_activity_breakdown.cpp.o.d"
+  "bench/bench_table1_activity_breakdown"
+  "bench/bench_table1_activity_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_activity_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_matching_methods.dir/bench/bench_table2_matching_methods.cpp.o"
+  "CMakeFiles/bench_table2_matching_methods.dir/bench/bench_table2_matching_methods.cpp.o.d"
+  "bench/bench_table2_matching_methods"
+  "bench/bench_table2_matching_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_matching_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

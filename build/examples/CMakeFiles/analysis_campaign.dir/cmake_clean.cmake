@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_campaign.dir/analysis_campaign.cpp.o"
+  "CMakeFiles/analysis_campaign.dir/analysis_campaign.cpp.o.d"
+  "analysis_campaign"
+  "analysis_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coscheduling_study.dir/coscheduling_study.cpp.o"
+  "CMakeFiles/coscheduling_study.dir/coscheduling_study.cpp.o.d"
+  "coscheduling_study"
+  "coscheduling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coscheduling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

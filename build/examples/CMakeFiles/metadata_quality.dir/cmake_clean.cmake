@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_quality.dir/metadata_quality.cpp.o"
+  "CMakeFiles/metadata_quality.dir/metadata_quality.cpp.o.d"
+  "metadata_quality"
+  "metadata_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bandwidth.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/bandwidth.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/bandwidth.cpp.o.d"
+  "/root/repo/src/analysis/breakdown.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/breakdown.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/breakdown.cpp.o.d"
+  "/root/repo/src/analysis/casestudy.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/casestudy.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/casestudy.cpp.o.d"
+  "/root/repo/src/analysis/heatmap.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/heatmap.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/heatmap.cpp.o.d"
+  "/root/repo/src/analysis/imbalance.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/imbalance.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/imbalance.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/summary.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/summary.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/summary.cpp.o.d"
+  "/root/repo/src/analysis/threshold.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/threshold.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/threshold.cpp.o.d"
+  "/root/repo/src/analysis/volume_growth.cpp" "src/CMakeFiles/pandarus_analysis.dir/analysis/volume_growth.cpp.o" "gcc" "src/CMakeFiles/pandarus_analysis.dir/analysis/volume_growth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandarus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_analysis.dir/analysis/bandwidth.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/bandwidth.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/breakdown.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/breakdown.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/casestudy.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/casestudy.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/heatmap.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/heatmap.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/imbalance.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/imbalance.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/summary.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/summary.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/threshold.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/threshold.cpp.o.d"
+  "CMakeFiles/pandarus_analysis.dir/analysis/volume_growth.cpp.o"
+  "CMakeFiles/pandarus_analysis.dir/analysis/volume_growth.cpp.o.d"
+  "libpandarus_analysis.a"
+  "libpandarus_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

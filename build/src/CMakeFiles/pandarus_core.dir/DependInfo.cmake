@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/CMakeFiles/pandarus_core.dir/core/anomaly.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/anomaly.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/CMakeFiles/pandarus_core.dir/core/exact.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/exact.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/CMakeFiles/pandarus_core.dir/core/inference.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/inference.cpp.o.d"
+  "/root/repo/src/core/match_types.cpp" "src/CMakeFiles/pandarus_core.dir/core/match_types.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/match_types.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/pandarus_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/parallel_driver.cpp" "src/CMakeFiles/pandarus_core.dir/core/parallel_driver.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/parallel_driver.cpp.o.d"
+  "/root/repo/src/core/relaxed.cpp" "src/CMakeFiles/pandarus_core.dir/core/relaxed.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/relaxed.cpp.o.d"
+  "/root/repo/src/core/windowed.cpp" "src/CMakeFiles/pandarus_core.dir/core/windowed.cpp.o" "gcc" "src/CMakeFiles/pandarus_core.dir/core/windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandarus_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

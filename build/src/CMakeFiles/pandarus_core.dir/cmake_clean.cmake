@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_core.dir/core/anomaly.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/anomaly.cpp.o.d"
+  "CMakeFiles/pandarus_core.dir/core/exact.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/exact.cpp.o.d"
+  "CMakeFiles/pandarus_core.dir/core/inference.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/inference.cpp.o.d"
+  "CMakeFiles/pandarus_core.dir/core/match_types.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/match_types.cpp.o.d"
+  "CMakeFiles/pandarus_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/pandarus_core.dir/core/parallel_driver.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/parallel_driver.cpp.o.d"
+  "CMakeFiles/pandarus_core.dir/core/relaxed.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/relaxed.cpp.o.d"
+  "CMakeFiles/pandarus_core.dir/core/windowed.cpp.o"
+  "CMakeFiles/pandarus_core.dir/core/windowed.cpp.o.d"
+  "libpandarus_core.a"
+  "libpandarus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dms/catalog.cpp" "src/CMakeFiles/pandarus_dms.dir/dms/catalog.cpp.o" "gcc" "src/CMakeFiles/pandarus_dms.dir/dms/catalog.cpp.o.d"
+  "/root/repo/src/dms/deletion.cpp" "src/CMakeFiles/pandarus_dms.dir/dms/deletion.cpp.o" "gcc" "src/CMakeFiles/pandarus_dms.dir/dms/deletion.cpp.o.d"
+  "/root/repo/src/dms/did.cpp" "src/CMakeFiles/pandarus_dms.dir/dms/did.cpp.o" "gcc" "src/CMakeFiles/pandarus_dms.dir/dms/did.cpp.o.d"
+  "/root/repo/src/dms/rse.cpp" "src/CMakeFiles/pandarus_dms.dir/dms/rse.cpp.o" "gcc" "src/CMakeFiles/pandarus_dms.dir/dms/rse.cpp.o.d"
+  "/root/repo/src/dms/rule.cpp" "src/CMakeFiles/pandarus_dms.dir/dms/rule.cpp.o" "gcc" "src/CMakeFiles/pandarus_dms.dir/dms/rule.cpp.o.d"
+  "/root/repo/src/dms/selector.cpp" "src/CMakeFiles/pandarus_dms.dir/dms/selector.cpp.o" "gcc" "src/CMakeFiles/pandarus_dms.dir/dms/selector.cpp.o.d"
+  "/root/repo/src/dms/transfer.cpp" "src/CMakeFiles/pandarus_dms.dir/dms/transfer.cpp.o" "gcc" "src/CMakeFiles/pandarus_dms.dir/dms/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandarus_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_dms.dir/dms/catalog.cpp.o"
+  "CMakeFiles/pandarus_dms.dir/dms/catalog.cpp.o.d"
+  "CMakeFiles/pandarus_dms.dir/dms/deletion.cpp.o"
+  "CMakeFiles/pandarus_dms.dir/dms/deletion.cpp.o.d"
+  "CMakeFiles/pandarus_dms.dir/dms/did.cpp.o"
+  "CMakeFiles/pandarus_dms.dir/dms/did.cpp.o.d"
+  "CMakeFiles/pandarus_dms.dir/dms/rse.cpp.o"
+  "CMakeFiles/pandarus_dms.dir/dms/rse.cpp.o.d"
+  "CMakeFiles/pandarus_dms.dir/dms/rule.cpp.o"
+  "CMakeFiles/pandarus_dms.dir/dms/rule.cpp.o.d"
+  "CMakeFiles/pandarus_dms.dir/dms/selector.cpp.o"
+  "CMakeFiles/pandarus_dms.dir/dms/selector.cpp.o.d"
+  "CMakeFiles/pandarus_dms.dir/dms/transfer.cpp.o"
+  "CMakeFiles/pandarus_dms.dir/dms/transfer.cpp.o.d"
+  "libpandarus_dms.a"
+  "libpandarus_dms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_dms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

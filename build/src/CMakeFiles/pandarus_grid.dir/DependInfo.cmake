@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/builder.cpp" "src/CMakeFiles/pandarus_grid.dir/grid/builder.cpp.o" "gcc" "src/CMakeFiles/pandarus_grid.dir/grid/builder.cpp.o.d"
+  "/root/repo/src/grid/link.cpp" "src/CMakeFiles/pandarus_grid.dir/grid/link.cpp.o" "gcc" "src/CMakeFiles/pandarus_grid.dir/grid/link.cpp.o.d"
+  "/root/repo/src/grid/load_model.cpp" "src/CMakeFiles/pandarus_grid.dir/grid/load_model.cpp.o" "gcc" "src/CMakeFiles/pandarus_grid.dir/grid/load_model.cpp.o.d"
+  "/root/repo/src/grid/site.cpp" "src/CMakeFiles/pandarus_grid.dir/grid/site.cpp.o" "gcc" "src/CMakeFiles/pandarus_grid.dir/grid/site.cpp.o.d"
+  "/root/repo/src/grid/topology.cpp" "src/CMakeFiles/pandarus_grid.dir/grid/topology.cpp.o" "gcc" "src/CMakeFiles/pandarus_grid.dir/grid/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandarus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_grid.dir/grid/builder.cpp.o"
+  "CMakeFiles/pandarus_grid.dir/grid/builder.cpp.o.d"
+  "CMakeFiles/pandarus_grid.dir/grid/link.cpp.o"
+  "CMakeFiles/pandarus_grid.dir/grid/link.cpp.o.d"
+  "CMakeFiles/pandarus_grid.dir/grid/load_model.cpp.o"
+  "CMakeFiles/pandarus_grid.dir/grid/load_model.cpp.o.d"
+  "CMakeFiles/pandarus_grid.dir/grid/site.cpp.o"
+  "CMakeFiles/pandarus_grid.dir/grid/site.cpp.o.d"
+  "CMakeFiles/pandarus_grid.dir/grid/topology.cpp.o"
+  "CMakeFiles/pandarus_grid.dir/grid/topology.cpp.o.d"
+  "libpandarus_grid.a"
+  "libpandarus_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/pandarus_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libpandarus_parallel.a"
+  "libpandarus_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpandarus_parallel.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_scenario.dir/scenario/campaign.cpp.o"
+  "CMakeFiles/pandarus_scenario.dir/scenario/campaign.cpp.o.d"
+  "CMakeFiles/pandarus_scenario.dir/scenario/config.cpp.o"
+  "CMakeFiles/pandarus_scenario.dir/scenario/config.cpp.o.d"
+  "libpandarus_scenario.a"
+  "libpandarus_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/pandarus_sim.dir/sim/scheduler.cpp.o.d"
+  "libpandarus_sim.a"
+  "libpandarus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

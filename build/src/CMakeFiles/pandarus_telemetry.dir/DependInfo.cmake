@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/corruption.cpp" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/corruption.cpp.o" "gcc" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/corruption.cpp.o.d"
+  "/root/repo/src/telemetry/io.cpp" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/io.cpp.o" "gcc" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/io.cpp.o.d"
+  "/root/repo/src/telemetry/query.cpp" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/query.cpp.o" "gcc" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/query.cpp.o.d"
+  "/root/repo/src/telemetry/recorder.cpp" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/recorder.cpp.o" "gcc" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/recorder.cpp.o.d"
+  "/root/repo/src/telemetry/records.cpp" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/records.cpp.o" "gcc" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/records.cpp.o.d"
+  "/root/repo/src/telemetry/store.cpp" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/store.cpp.o" "gcc" "src/CMakeFiles/pandarus_telemetry.dir/telemetry/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandarus_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/corruption.cpp.o"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/corruption.cpp.o.d"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/io.cpp.o"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/io.cpp.o.d"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/query.cpp.o"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/query.cpp.o.d"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/recorder.cpp.o"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/recorder.cpp.o.d"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/records.cpp.o"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/records.cpp.o.d"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/store.cpp.o"
+  "CMakeFiles/pandarus_telemetry.dir/telemetry/store.cpp.o.d"
+  "libpandarus_telemetry.a"
+  "libpandarus_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

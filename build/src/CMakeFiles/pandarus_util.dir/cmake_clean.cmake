@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_util.dir/util/csv.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/pandarus_util.dir/util/format.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/format.cpp.o.d"
+  "CMakeFiles/pandarus_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/pandarus_util.dir/util/log.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/pandarus_util.dir/util/rng.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/pandarus_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/pandarus_util.dir/util/table.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/pandarus_util.dir/util/time.cpp.o"
+  "CMakeFiles/pandarus_util.dir/util/time.cpp.o.d"
+  "libpandarus_util.a"
+  "libpandarus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

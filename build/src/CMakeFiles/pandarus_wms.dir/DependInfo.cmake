@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wms/brokerage.cpp" "src/CMakeFiles/pandarus_wms.dir/wms/brokerage.cpp.o" "gcc" "src/CMakeFiles/pandarus_wms.dir/wms/brokerage.cpp.o.d"
+  "/root/repo/src/wms/job.cpp" "src/CMakeFiles/pandarus_wms.dir/wms/job.cpp.o" "gcc" "src/CMakeFiles/pandarus_wms.dir/wms/job.cpp.o.d"
+  "/root/repo/src/wms/panda_server.cpp" "src/CMakeFiles/pandarus_wms.dir/wms/panda_server.cpp.o" "gcc" "src/CMakeFiles/pandarus_wms.dir/wms/panda_server.cpp.o.d"
+  "/root/repo/src/wms/site_queue.cpp" "src/CMakeFiles/pandarus_wms.dir/wms/site_queue.cpp.o" "gcc" "src/CMakeFiles/pandarus_wms.dir/wms/site_queue.cpp.o.d"
+  "/root/repo/src/wms/workload.cpp" "src/CMakeFiles/pandarus_wms.dir/wms/workload.cpp.o" "gcc" "src/CMakeFiles/pandarus_wms.dir/wms/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pandarus_dms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pandarus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

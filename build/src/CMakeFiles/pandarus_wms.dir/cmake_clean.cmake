@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandarus_wms.dir/wms/brokerage.cpp.o"
+  "CMakeFiles/pandarus_wms.dir/wms/brokerage.cpp.o.d"
+  "CMakeFiles/pandarus_wms.dir/wms/job.cpp.o"
+  "CMakeFiles/pandarus_wms.dir/wms/job.cpp.o.d"
+  "CMakeFiles/pandarus_wms.dir/wms/panda_server.cpp.o"
+  "CMakeFiles/pandarus_wms.dir/wms/panda_server.cpp.o.d"
+  "CMakeFiles/pandarus_wms.dir/wms/site_queue.cpp.o"
+  "CMakeFiles/pandarus_wms.dir/wms/site_queue.cpp.o.d"
+  "CMakeFiles/pandarus_wms.dir/wms/workload.cpp.o"
+  "CMakeFiles/pandarus_wms.dir/wms/workload.cpp.o.d"
+  "libpandarus_wms.a"
+  "libpandarus_wms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandarus_wms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_imbalance_test.dir/anomaly_imbalance_test.cpp.o"
+  "CMakeFiles/anomaly_imbalance_test.dir/anomaly_imbalance_test.cpp.o.d"
+  "anomaly_imbalance_test"
+  "anomaly_imbalance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_imbalance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

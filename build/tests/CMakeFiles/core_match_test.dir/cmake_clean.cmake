@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_match_test.dir/core_match_test.cpp.o"
+  "CMakeFiles/core_match_test.dir/core_match_test.cpp.o.d"
+  "core_match_test"
+  "core_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wms_test.dir/wms_test.cpp.o"
+  "CMakeFiles/wms_test.dir/wms_test.cpp.o.d"
+  "wms_test"
+  "wms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[util_test]=] "/root/repo/build/tests/util_test")
+set_tests_properties([=[util_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[sim_test]=] "/root/repo/build/tests/sim_test")
+set_tests_properties([=[sim_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[grid_test]=] "/root/repo/build/tests/grid_test")
+set_tests_properties([=[grid_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[dms_test]=] "/root/repo/build/tests/dms_test")
+set_tests_properties([=[dms_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[core_match_test]=] "/root/repo/build/tests/core_match_test")
+set_tests_properties([=[core_match_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[windowed_test]=] "/root/repo/build/tests/windowed_test")
+set_tests_properties([=[windowed_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[wms_test]=] "/root/repo/build/tests/wms_test")
+set_tests_properties([=[wms_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[telemetry_test]=] "/root/repo/build/tests/telemetry_test")
+set_tests_properties([=[telemetry_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[parallel_test]=] "/root/repo/build/tests/parallel_test")
+set_tests_properties([=[parallel_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[analysis_test]=] "/root/repo/build/tests/analysis_test")
+set_tests_properties([=[analysis_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[anomaly_imbalance_test]=] "/root/repo/build/tests/anomaly_imbalance_test")
+set_tests_properties([=[anomaly_imbalance_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[scenario_test]=] "/root/repo/build/tests/scenario_test")
+set_tests_properties([=[scenario_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[property_test]=] "/root/repo/build/tests/property_test")
+set_tests_properties([=[property_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;pandarus_test;/root/repo/tests/CMakeLists.txt;0;")
