@@ -34,6 +34,19 @@ void BM_MatcherIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_MatcherIndexBuild);
 
+void BM_MatcherIndexBuildParallel(benchmark::State& state) {
+  const auto& store = snapshot().store;
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Matcher matcher(store, pool);
+    benchmark::DoNotOptimize(&matcher);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(store.transfers().size()));
+}
+BENCHMARK(BM_MatcherIndexBuildParallel)->Arg(2)->Arg(4);
+
 void BM_MatchRun(benchmark::State& state) {
   const auto& store = snapshot().store;
   const core::Matcher matcher(store);

@@ -4,7 +4,6 @@
 
 namespace pandarus::core {
 
-using telemetry::FileRecord;
 using telemetry::JobRecord;
 using telemetry::TransferRecord;
 
@@ -20,28 +19,17 @@ const char* match_outcome_name(MatchOutcome outcome) noexcept {
   return "?";
 }
 
-Matcher::Matcher(const telemetry::MetadataStore& store) : store_(&store) {
-  const auto files = store.files();
-  files_by_job_.reserve(files.size() / 4 + 1);
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    files_by_job_[files[i].pandaid].push_back(i);
-  }
-  const auto transfers = store.transfers();
-  transfers_by_lfn_.reserve(transfers.size());
-  for (std::size_t i = 0; i < transfers.size(); ++i) {
-    transfers_by_lfn_[transfers[i].lfn].push_back(i);
-  }
-}
+Matcher::Matcher(const telemetry::MetadataStore& store)
+    : index_(std::make_shared<const MatchIndex>(store)) {}
+
+Matcher::Matcher(const telemetry::MetadataStore& store,
+                 parallel::ThreadPool& pool)
+    : index_(std::make_shared<const MatchIndex>(store, &pool)) {}
+
+Matcher::Matcher(std::shared_ptr<const MatchIndex> index)
+    : index_(std::move(index)) {}
 
 namespace {
-
-/// Attribute equality between a file row and a transfer event: the join
-/// predicate of Algorithm 1's candidate-construction step.
-bool attributes_match(const FileRecord& f, const TransferRecord& t) {
-  return t.file_size == f.file_size && t.lfn == f.lfn &&
-         t.dataset == f.dataset && t.proddblock == f.proddblock &&
-         t.scope == f.scope;
-}
 
 /// Direction/site condition.  Under RM2 an UNKNOWN endpoint on the
 /// relevant side is accepted (§4.3: such labels "may be incorrectly
@@ -61,52 +49,65 @@ bool site_condition(const TransferRecord& t, const JobRecord& j,
 
 }  // namespace
 
-std::vector<std::size_t> Matcher::collect_candidates(
-    const JobRecord& job, const MatchOptions& options,
+const std::vector<std::size_t>& Matcher::collect_candidates(
+    std::size_t job_index, const MatchOptions& options,
     std::size_t* file_rows) const {
-  if (file_rows != nullptr) *file_rows = 0;
-  std::vector<std::size_t> candidates;
-  auto files_it = files_by_job_.find(job.pandaid);
-  if (files_it == files_by_job_.end()) return candidates;
+  // Reused per worker thread: the per-job allocate/free that used to
+  // dominate the inner loop is gone.
+  thread_local std::vector<std::size_t> scratch;
+  scratch.clear();
 
-  const auto files = store_->files();
-  const auto transfers = store_->transfers();
+  const auto rows = index_->files_of_job(job_index);
+  if (file_rows != nullptr) *file_rows = rows.size();
+  if (rows.empty()) return scratch;
 
-  // Candidate transfers: attribute-matched against any file row of F'_j,
-  // then time-filtered (started before the job's end).  Deduplicated,
-  // since one transfer may match both an input and an output row in
-  // pathological stores.
-  for (std::size_t fi : files_it->second) {
-    const FileRecord& row = files[fi];
-    if (row.jeditaskid != job.jeditaskid) continue;  // stale file row
-    if (file_rows != nullptr) ++*file_rows;
-    auto lfn_it = transfers_by_lfn_.find(std::string_view(row.lfn));
-    if (lfn_it == transfers_by_lfn_.end()) continue;
-    for (std::size_t ti : lfn_it->second) {
+  const telemetry::MetadataStore& store = index_->store();
+  const JobRecord& job = store.jobs()[job_index];
+  const auto files = store.files();
+  const auto transfers = store.transfers();
+
+  // Candidate transfers: attribute-key-matched against any file row of
+  // F'_j (one integer compare — lfn equality is structural through the
+  // lfn-symbol group, the composite key covers the rest), then
+  // time-filtered (started before the job's end).
+  std::size_t contributing_rows = 0;
+  for (const std::uint32_t fi : rows) {
+    const std::uint64_t fkey = index_->file_key(fi);
+    const std::size_t before = scratch.size();
+    for (const std::uint32_t ti : index_->transfers_with_lfn(files[fi].lfn_sym)) {
       const TransferRecord& t = transfers[ti];
       if (options.require_taskid_match && t.jeditaskid != job.jeditaskid) {
         continue;
       }
-      if (t.started_at < job.end_time && attributes_match(row, t)) {
-        candidates.push_back(ti);
+      if (t.started_at < job.end_time && index_->transfer_key(ti) == fkey) {
+        scratch.push_back(ti);
       }
     }
+    contributing_rows += scratch.size() > before;
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-  return candidates;
+
+  // Each lfn group is already ascending, so a single contributing row
+  // needs no post-processing.  Multiple rows can interleave groups and —
+  // when a job carries the same lfn as both input and output — duplicate
+  // a transfer, so sort + dedup only then.
+  if (contributing_rows > 1) {
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                  scratch.end());
+  }
+  return scratch;
 }
 
 MatchedJob Matcher::match_job(std::size_t job_index,
                               const MatchOptions& options) const {
-  const JobRecord& job = store_->jobs()[job_index];
+  const telemetry::MetadataStore& store = index_->store();
+  const JobRecord& job = store.jobs()[job_index];
   MatchedJob result;
   result.job_index = job_index;
 
-  const auto transfers = store_->transfers();
-  const std::vector<std::size_t> candidates =
-      collect_candidates(job, options, nullptr);
+  const auto transfers = store.transfers();
+  const std::vector<std::size_t>& candidates =
+      collect_candidates(job_index, options, nullptr);
   if (candidates.empty()) return result;
 
   // Size-sum gate over the whole candidate set (exact method only).
@@ -134,12 +135,13 @@ MatchedJob Matcher::match_job(std::size_t job_index,
 
 MatchDiagnosis Matcher::diagnose_job(std::size_t job_index,
                                      const MatchOptions& options) const {
-  const JobRecord& job = store_->jobs()[job_index];
-  const auto transfers = store_->transfers();
+  const telemetry::MetadataStore& store = index_->store();
+  const JobRecord& job = store.jobs()[job_index];
+  const auto transfers = store.transfers();
 
   MatchDiagnosis diagnosis;
-  const std::vector<std::size_t> candidates =
-      collect_candidates(job, options, &diagnosis.file_rows);
+  const std::vector<std::size_t>& candidates =
+      collect_candidates(job_index, options, &diagnosis.file_rows);
   if (diagnosis.file_rows == 0) {
     diagnosis.outcome = MatchOutcome::kNoFileRows;
     return diagnosis;
@@ -173,7 +175,7 @@ MatchDiagnosis Matcher::diagnose_job(std::size_t job_index,
 MatchResult Matcher::run(const MatchOptions& options) const {
   MatchResult out;
   out.method = options.method;
-  out.jobs_considered = store_->jobs().size();
+  out.jobs_considered = index_->store().jobs().size();
   for (std::size_t i = 0; i < out.jobs_considered; ++i) {
     MatchedJob m = match_job(i, options);
     if (m.matched()) out.jobs.push_back(std::move(m));

@@ -19,9 +19,9 @@
 // core/relaxed.hpp for the presets.
 #pragma once
 
-#include <string_view>
-#include <unordered_map>
+#include <memory>
 
+#include "core/match_index.hpp"
 #include "core/match_types.hpp"
 
 namespace pandarus::core {
@@ -86,12 +86,19 @@ struct MatchDiagnosis {
 };
 
 /// Matcher over one (already corrupted) metadata snapshot.  Construction
-/// builds the two indexes Algorithm 1 needs — file rows by pandaid and
-/// transfers by lfn — and is then reusable across methods and threads
-/// (all queries are const).
+/// builds (or adopts) the MatchIndex Algorithm 1 needs — file rows by
+/// (pandaid, jeditaskid) and transfers by interned lfn symbol — and is
+/// then reusable across methods and threads (all queries are const).
 class Matcher {
  public:
+  /// Builds the index serially.
   explicit Matcher(const telemetry::MetadataStore& store);
+
+  /// Builds the index with the parallel two-pass group-by over `pool`.
+  Matcher(const telemetry::MetadataStore& store, parallel::ThreadPool& pool);
+
+  /// Adopts a prebuilt index (shared across matchers without a rebuild).
+  explicit Matcher(std::shared_ptr<const MatchIndex> index);
 
   /// Runs Algorithm 1's inner loop for one job; the result's
   /// transfer_indices is empty when the job matches nothing.
@@ -106,27 +113,31 @@ class Matcher {
   [[nodiscard]] MatchResult run(const MatchOptions& options) const;
 
   [[nodiscard]] const telemetry::MetadataStore& store() const noexcept {
-    return *store_;
+    return index_->store();
+  }
+
+  /// The shared index (e.g. to hand to another Matcher).
+  [[nodiscard]] const std::shared_ptr<const MatchIndex>& index()
+      const noexcept {
+    return index_;
   }
 
  private:
   friend class ParallelMatchDriver;
 
   /// Candidate construction shared by match_job and diagnose_job:
-  /// attribute-matched, taskid-checked (per options), time-filtered,
-  /// deduplicated.  `file_rows` (optional) receives the count of
-  /// bridging file rows.
-  [[nodiscard]] std::vector<std::size_t> collect_candidates(
-      const telemetry::JobRecord& job, const MatchOptions& options,
+  /// attribute-key-matched, taskid-checked (per options), time-filtered,
+  /// deduplicated, ascending.  `file_rows` (optional) receives the count
+  /// of bridging file rows.  Returns a per-thread scratch buffer valid
+  /// until this thread's next call.
+  [[nodiscard]] const std::vector<std::size_t>& collect_candidates(
+      std::size_t job_index, const MatchOptions& options,
       std::size_t* file_rows) const;
 
-  const telemetry::MetadataStore* store_;
-  /// pandaid -> indices into store.files().
-  std::unordered_map<std::int64_t, std::vector<std::size_t>> files_by_job_;
-  /// lfn -> indices into store.transfers().  Keys view into the store's
-  /// strings; the store must outlive the matcher and stay unmodified.
-  std::unordered_map<std::string_view, std::vector<std::size_t>>
-      transfers_by_lfn_;
+  /// The store's index: file rows by (pandaid, jeditaskid), transfers
+  /// by lfn symbol, composite attribute keys.  The underlying store
+  /// must outlive the matcher and stay unmodified.
+  std::shared_ptr<const MatchIndex> index_;
 };
 
 }  // namespace pandarus::core

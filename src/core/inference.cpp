@@ -92,19 +92,18 @@ std::vector<RedundantGroup> find_redundant_transfers(
 
 GlobalRedundancy scan_global_redundancy(const telemetry::MetadataStore& store,
                                         util::SimDuration within) {
-  // (lfn hash, size, dst) -> delivery times.  Hashing the lfn keeps the
-  // map light at millions of records; collisions would need identical
-  // sizes and destinations too, so they are negligible for an aggregate
-  // count.
+  // (lfn symbol, size, dst) -> delivery times.  The store's interned
+  // lfn symbol keeps the map light at millions of records and — unlike
+  // the string hash this used to fold — makes the grouping exact.
   struct Key {
-    std::uint64_t lfn_hash;
+    util::Symbol lfn;
     std::uint64_t size;
     grid::SiteId dst;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
-      return k.lfn_hash ^ (k.size * 0x9e3779b97f4a7c15ULL) ^
+      return k.lfn ^ (k.size * 0x9e3779b97f4a7c15ULL) ^
              (static_cast<std::uint64_t>(k.dst) << 17);
     }
   };
@@ -114,9 +113,8 @@ GlobalRedundancy scan_global_redundancy(const telemetry::MetadataStore& store,
   for (const TransferRecord& t : store.transfers()) {
     if (!is_delivery(t) || !t.success) continue;
     if (t.destination_site == grid::kUnknownSite) continue;
-    deliveries[{std::hash<std::string>{}(t.lfn), t.file_size,
-                t.destination_site}]
-        .push_back(t.finished_at);
+    deliveries[{t.lfn_sym, t.file_size, t.destination_site}].push_back(
+        t.finished_at);
   }
 
   GlobalRedundancy out;

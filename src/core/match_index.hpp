@@ -1,0 +1,98 @@
+// MatchIndex: the shared, immutable index layer behind Algorithm 1.
+//
+// The paper's §5.5 notes that metadata volume "imposes the need for
+// efficient computing for scalability ... such as parallelization".
+// This index is where that lands for the matching core:
+//
+//  * file rows are grouped by OWNING JOB — keyed on the full (pandaid,
+//    jeditaskid) bridge, so stale rows (same pandaid, different task
+//    generation) are excluded at build time instead of per query;
+//  * transfers are grouped by interned lfn symbol, which turns the old
+//    string-keyed hash map into a counting sort over dense ids;
+//  * every record gets one 64-bit composite attribute key — the interned
+//    (dataset, proddblock, scope) triple in the high half and an
+//    interned file-size id in the low half — so the attribute-join
+//    predicate of Algorithm 1 is ONE integer compare per candidate.
+//    Key equality is exact (interned, not hashed): equal keys iff all
+//    three strings and the size are equal.
+//
+// Both group-bys are CSR layouts (offsets + slots) built with a
+// deterministic two-pass scheme — per-chunk count, column-major prefix
+// sum, per-chunk scatter — optionally sharded over a ThreadPool.  The
+// scatter preserves record order within each group regardless of thread
+// count, so serial and parallel builds are bit-identical.
+//
+// One MatchIndex is built per snapshot and shared by the exact, RM1/RM2
+// and windowed matchers and the ParallelMatchDriver (all queries const).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "parallel/thread_pool.hpp"
+#include "telemetry/store.hpp"
+
+namespace pandarus::core {
+
+class MatchIndex {
+ public:
+  /// Serial build.
+  explicit MatchIndex(const telemetry::MetadataStore& store)
+      : MatchIndex(store, nullptr) {}
+
+  /// Parallel two-pass build over `pool` (nullptr degrades to serial).
+  /// The store must outlive the index and stay unmodified.
+  MatchIndex(const telemetry::MetadataStore& store,
+             parallel::ThreadPool* pool);
+
+  /// File rows whose (pandaid, jeditaskid) equals the job's — the F'_j
+  /// of Algorithm 1, stale rows already excluded.  Ascending row order.
+  [[nodiscard]] std::span<const std::uint32_t> files_of_job(
+      std::size_t job_index) const noexcept {
+    return group(file_offsets_, file_slots_, job_index);
+  }
+
+  /// Transfers whose lfn has the given symbol id.  Ascending row order.
+  [[nodiscard]] std::span<const std::uint32_t> transfers_with_lfn(
+      util::Symbol lfn_sym) const noexcept {
+    if (lfn_sym + 1 >= transfer_offsets_.size()) return {};
+    return group(transfer_offsets_, transfer_slots_, lfn_sym);
+  }
+
+  /// Composite attribute keys; `file_key(i) == transfer_key(j)` iff the
+  /// records agree on dataset, proddblock, scope AND file_size.
+  [[nodiscard]] std::uint64_t file_key(std::size_t file_index) const noexcept {
+    return file_keys_[file_index];
+  }
+  [[nodiscard]] std::uint64_t transfer_key(
+      std::size_t transfer_index) const noexcept {
+    return transfer_keys_[transfer_index];
+  }
+
+  [[nodiscard]] const telemetry::MetadataStore& store() const noexcept {
+    return *store_;
+  }
+
+ private:
+  static std::span<const std::uint32_t> group(
+      const std::vector<std::uint32_t>& offsets,
+      const std::vector<std::uint32_t>& slots, std::size_t g) noexcept {
+    if (g + 1 >= offsets.size()) return {};
+    return std::span<const std::uint32_t>(slots)
+        .subspan(offsets[g], offsets[g + 1] - offsets[g]);
+  }
+
+  const telemetry::MetadataStore* store_;
+  /// CSR over jobs: file_slots_[file_offsets_[j] .. file_offsets_[j+1])
+  /// are the file-row indices bridging to job j.
+  std::vector<std::uint32_t> file_offsets_;
+  std::vector<std::uint32_t> file_slots_;
+  /// CSR over lfn symbols, same layout, into store.transfers().
+  std::vector<std::uint32_t> transfer_offsets_;
+  std::vector<std::uint32_t> transfer_slots_;
+  std::vector<std::uint64_t> file_keys_;
+  std::vector<std::uint64_t> transfer_keys_;
+};
+
+}  // namespace pandarus::core

@@ -29,6 +29,7 @@
 #include "core/anomaly.hpp"
 #include "core/exact.hpp"
 #include "core/inference.hpp"
+#include "core/match_index.hpp"
 #include "core/match_types.hpp"
 #include "core/metrics.hpp"
 #include "core/parallel_driver.hpp"
@@ -58,6 +59,7 @@
 #include "util/csv.hpp"
 #include "util/format.hpp"
 #include "util/histogram.hpp"
+#include "util/interner.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

@@ -16,6 +16,7 @@
 
 #include "dms/did.hpp"
 #include "grid/site.hpp"
+#include "util/interner.hpp"
 #include "util/time.hpp"
 #include "wms/job.hpp"
 
@@ -58,6 +59,16 @@ struct FileRecord {
   std::string scope;
   std::uint64_t file_size = 0;
   FileDirection direction = FileDirection::kInput;
+
+  /// Dense symbol ids for the string attributes, assigned by
+  /// MetadataStore at ingest (kNoSymbol on records that never passed
+  /// through a store).  attr_sym is the interned (dataset, proddblock,
+  /// scope) triple: equal attr_sym iff all three strings are equal.
+  util::Symbol lfn_sym = util::kNoSymbol;
+  util::Symbol dataset_sym = util::kNoSymbol;
+  util::Symbol proddblock_sym = util::kNoSymbol;
+  util::Symbol scope_sym = util::kNoSymbol;
+  util::Symbol attr_sym = util::kNoSymbol;
 };
 
 struct TransferRecord {
@@ -76,6 +87,15 @@ struct TransferRecord {
   util::SimTime started_at = 0;
   util::SimTime finished_at = 0;
   bool success = true;
+
+  /// Interned attribute symbols; see FileRecord.  Symbols cover the
+  /// string fields only — file_size is folded in at index-build time
+  /// because the corruption injector jitters sizes in place.
+  util::Symbol lfn_sym = util::kNoSymbol;
+  util::Symbol dataset_sym = util::kNoSymbol;
+  util::Symbol proddblock_sym = util::kNoSymbol;
+  util::Symbol scope_sym = util::kNoSymbol;
+  util::Symbol attr_sym = util::kNoSymbol;
 
   [[nodiscard]] bool has_jeditaskid() const noexcept {
     return jeditaskid >= 0;

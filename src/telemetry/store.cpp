@@ -7,11 +7,25 @@ void MetadataStore::record_job(JobRecord record) {
   jobs_.push_back(std::move(record));
 }
 
+template <typename Record>
+void MetadataStore::intern_attributes(Record& record) {
+  record.lfn_sym = symbols_.intern(record.lfn);
+  record.dataset_sym = symbols_.intern(record.dataset);
+  record.proddblock_sym = symbols_.intern(record.proddblock);
+  record.scope_sym = symbols_.intern(record.scope);
+  const util::Symbol pair = attr_pairs_.intern(
+      util::pack_symbols(record.dataset_sym, record.proddblock_sym));
+  record.attr_sym =
+      attr_triples_.intern(util::pack_symbols(pair, record.scope_sym));
+}
+
 void MetadataStore::record_file(FileRecord record) {
+  intern_attributes(record);
   files_.push_back(std::move(record));
 }
 
 void MetadataStore::record_transfer(TransferRecord record) {
+  intern_attributes(record);
   transfers_.push_back(std::move(record));
 }
 

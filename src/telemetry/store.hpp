@@ -5,7 +5,12 @@
 // before the end of the interval, excluding all jobs still running"
 // (§4.2).  Indexes used by the matcher (file records by (pandaid,
 // jeditaskid), transfers by lfn) are built on demand by the core module;
-// the store itself stays a dumb, faithful record base.
+// the store itself stays a dumb, faithful record base — plus one piece
+// of derived state: a shared symbol table.  record_file/record_transfer
+// intern the string attributes (lfn, dataset, proddblock, scope) to
+// dense ids and the (dataset, proddblock, scope) triple to one attr_sym,
+// so the core's MatchIndex can group and compare records with integer
+// keys only.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "telemetry/records.hpp"
+#include "util/interner.hpp"
 
 namespace pandarus::telemetry {
 
@@ -38,7 +44,18 @@ class MetadataStore {
     return transfers_;
   }
 
-  // Mutable access for the corruption injector only.
+  /// Symbol table shared by all four string attributes of both record
+  /// families: `files()[i].lfn_sym == transfers()[j].lfn_sym` iff the
+  /// lfn strings are equal.
+  [[nodiscard]] const util::StringInterner& symbols() const noexcept {
+    return symbols_;
+  }
+
+  // Mutable access for the corruption injector only.  Invariant: the
+  // string attributes of a record must not be edited in place (their
+  // symbol ids would go stale) — re-record instead.  Numeric fields
+  // (file_size, sites, task ids, times) may be edited freely; the
+  // MatchIndex derives its composite keys from them at build time.
   [[nodiscard]] std::vector<JobRecord>& jobs_mutable() noexcept {
     return jobs_;
   }
@@ -67,10 +84,20 @@ class MetadataStore {
   [[nodiscard]] Counts counts() const noexcept;
 
  private:
+  /// Overwrites the record's symbol fields from this store's interner
+  /// (records copied from another store carry that store's ids).
+  template <typename Record>
+  void intern_attributes(Record& record);
+
   std::vector<JobRecord> jobs_;
   std::vector<FileRecord> files_;
   std::vector<TransferRecord> transfers_;
   std::unordered_map<std::int64_t, std::vector<std::size_t>> jobs_by_task_;
+  util::StringInterner symbols_;
+  /// (dataset_sym, proddblock_sym) -> pair id, (pair id, scope_sym) ->
+  /// attr_sym: chained pair interning gives the triple an exact dense id.
+  util::KeyInterner<std::uint64_t> attr_pairs_;
+  util::KeyInterner<std::uint64_t> attr_triples_;
 };
 
 }  // namespace pandarus::telemetry

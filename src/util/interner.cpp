@@ -1,0 +1,19 @@
+#include "util/interner.hpp"
+
+namespace pandarus::util {
+
+Symbol StringInterner::intern(std::string_view text) {
+  const auto hit = ids_.find(text);
+  if (hit != ids_.end()) return hit->second;
+  const auto id = static_cast<Symbol>(views_.size());
+  const auto it = ids_.emplace(std::string(text), id).first;
+  views_.push_back(it->first);
+  return id;
+}
+
+Symbol StringInterner::find(std::string_view text) const noexcept {
+  const auto it = ids_.find(text);
+  return it == ids_.end() ? kNoSymbol : it->second;
+}
+
+}  // namespace pandarus::util

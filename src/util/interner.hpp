@@ -1,0 +1,95 @@
+// String interning: dense uint32 symbol ids for the repeated metadata
+// attribute strings (lfn, dataset, proddblock, scope).
+//
+// The paper's §5.5 scalability concern is allocator- and hash-bound: the
+// matching core used to hash multi-hundred-byte strings once per lookup
+// and once per candidate comparison.  Interning each distinct string to
+// a dense id at record-ingest time makes every later equality test one
+// integer compare and every group-by a counting sort over [0, size()).
+//
+// Ids are assigned in first-intern order, so they are deterministic for
+// a fixed ingest order, and two ids are equal iff the strings are equal
+// (exactness is structural, not probabilistic: there is no hashing in
+// the id itself).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pandarus::util {
+
+/// Dense id assigned by an interner.  32 bits bound the distinct-string
+/// population at 4G — far above any snapshot this system indexes.
+using Symbol = std::uint32_t;
+
+/// Sentinel for "never interned" (records that did not pass through a
+/// MetadataStore).  Indexes treat it as matching nothing.
+inline constexpr Symbol kNoSymbol = 0xFFFF'FFFFu;
+
+class StringInterner {
+ public:
+  /// Returns the id of `text`, assigning the next dense id on first
+  /// sight.  Amortized O(len): one hash of the string, no allocation on
+  /// hits (heterogeneous lookup).
+  Symbol intern(std::string_view text);
+
+  /// Id of `text` if already interned, kNoSymbol otherwise.
+  [[nodiscard]] Symbol find(std::string_view text) const noexcept;
+
+  /// The string behind an id.  Valid for the interner's lifetime.
+  [[nodiscard]] std::string_view view(Symbol id) const noexcept {
+    return views_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return views_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  /// Node-based map: key storage is pointer-stable, so views_ can alias
+  /// the keys instead of owning a second copy of every string.
+  std::unordered_map<std::string, Symbol, Hash, std::equal_to<>> ids_;
+  std::vector<std::string_view> views_;
+};
+
+/// Dense ids for arbitrary integer-like keys (already-hashed tuples,
+/// packed symbol pairs, file sizes).  Same exactness contract as
+/// StringInterner: equal ids iff equal keys.
+template <typename Key, typename Hash = std::hash<Key>>
+class KeyInterner {
+ public:
+  Symbol intern(const Key& key) {
+    const auto next = static_cast<Symbol>(ids_.size());
+    return ids_.try_emplace(key, next).first->second;
+  }
+
+  [[nodiscard]] Symbol find(const Key& key) const noexcept {
+    const auto it = ids_.find(key);
+    return it == ids_.end() ? kNoSymbol : it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+ private:
+  std::unordered_map<Key, Symbol, Hash> ids_;
+};
+
+/// Packs two symbols into one KeyInterner<uint64_t> key.  Chaining pair
+/// interns is how wider tuples get exact dense ids: ((a,b)->p, (p,c)->q)
+/// assigns equal q iff (a,b,c) are pairwise equal.
+[[nodiscard]] constexpr std::uint64_t pack_symbols(Symbol hi,
+                                                   Symbol lo) noexcept {
+  return (static_cast<std::uint64_t>(hi) << 32) |
+         static_cast<std::uint64_t>(lo);
+}
+
+}  // namespace pandarus::util

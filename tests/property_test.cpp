@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "analysis/summary.hpp"
+#include "core/match_index.hpp"
 #include "core/metrics.hpp"
 #include "core/relaxed.hpp"
 #include "scenario/campaign.hpp"
+#include "util/interner.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -168,6 +170,148 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CampaignCase{11, 1.0}, CampaignCase{12, 1.0},
                       CampaignCase{13, 0.0}, CampaignCase{14, 2.0},
                       CampaignCase{15, 0.5}));
+
+// --- interner and composite-key properties -----------------------------
+
+class InternerSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// A pool of strings with deliberate near-collisions (shared prefixes,
+  /// single-character differences) drawn with repetition.
+  static std::vector<std::string> random_strings(util::Rng& rng,
+                                                 std::size_t n) {
+    std::vector<std::string> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string s = "lfn." + std::to_string(rng.uniform_int(0, 40));
+      if (rng.next_double() < 0.5) s += "." + std::to_string(i % 7);
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+};
+
+TEST_P(InternerSweep, IdsAreCollisionFreeAndStable) {
+  util::Rng rng(GetParam());
+  const auto strings = random_strings(rng, 300);
+  util::StringInterner interner;
+  std::vector<util::Symbol> first_pass;
+  first_pass.reserve(strings.size());
+  for (const auto& s : strings) first_pass.push_back(interner.intern(s));
+
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    // Roundtrip and idempotence.
+    EXPECT_EQ(interner.view(first_pass[i]), strings[i]);
+    EXPECT_EQ(interner.intern(strings[i]), first_pass[i]);
+    EXPECT_EQ(interner.find(strings[i]), first_pass[i]);
+    // Equal ids exactly for equal strings (no collisions, no splits).
+    for (std::size_t j = i + 1; j < strings.size(); ++j) {
+      EXPECT_EQ(first_pass[i] == first_pass[j], strings[i] == strings[j]);
+    }
+  }
+}
+
+TEST_P(InternerSweep, StoreSymbolsConsistentAcrossIngestOrder) {
+  // Two stores ingest the same file records in opposite orders.  The
+  // numeric ids may differ, but each store's symbols must resolve back
+  // to the record's strings, and attr_sym equality must coincide with
+  // attribute-tuple equality in both.
+  util::Rng rng(GetParam());
+  const auto lfns = random_strings(rng, 60);
+  std::vector<telemetry::FileRecord> records;
+  for (std::size_t i = 0; i < lfns.size(); ++i) {
+    telemetry::FileRecord f;
+    f.pandaid = static_cast<std::int64_t>(i);
+    f.jeditaskid = 1;
+    f.lfn = lfns[i];
+    f.dataset = "ds." + std::to_string(rng.uniform_int(0, 5));
+    f.proddblock = "blk." + std::to_string(rng.uniform_int(0, 5));
+    f.scope = rng.next_double() < 0.5 ? "mc23" : "data24";
+    f.file_size = static_cast<std::uint64_t>(rng.uniform_int(1, 4));
+    records.push_back(std::move(f));
+  }
+
+  telemetry::MetadataStore forward;
+  telemetry::MetadataStore backward;
+  for (const auto& f : records) forward.record_file(f);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    backward.record_file(*it);
+  }
+
+  const auto check = [&](const telemetry::MetadataStore& store) {
+    const auto files = store.files();
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const auto& f = files[i];
+      EXPECT_EQ(store.symbols().view(f.lfn_sym), f.lfn);
+      EXPECT_EQ(store.symbols().view(f.dataset_sym), f.dataset);
+      EXPECT_EQ(store.symbols().view(f.proddblock_sym), f.proddblock);
+      EXPECT_EQ(store.symbols().view(f.scope_sym), f.scope);
+      for (std::size_t j = i + 1; j < files.size(); ++j) {
+        const bool same_tuple = f.dataset == files[j].dataset &&
+                                f.proddblock == files[j].proddblock &&
+                                f.scope == files[j].scope;
+        EXPECT_EQ(f.attr_sym == files[j].attr_sym, same_tuple)
+            << f.lfn << " vs " << files[j].lfn;
+      }
+    }
+  };
+  check(forward);
+  check(backward);
+}
+
+TEST_P(InternerSweep, CompositeKeyEquivalentToStringComparison) {
+  // The refactor replaced the five-way string/size predicate with one
+  // integer compare.  Over randomized records (small pools force heavy
+  // overlap in every field), the two must agree on every (file,
+  // transfer) pair: old attributes_match(f, t) == (lfn symbols equal &&
+  // composite keys equal).
+  util::Rng rng(GetParam());
+  telemetry::MetadataStore store;
+  const auto pick = [&](const char* prefix, int n) {
+    return std::string(prefix) + std::to_string(rng.uniform_int(0, n));
+  };
+  for (int i = 0; i < 120; ++i) {
+    telemetry::FileRecord f;
+    f.pandaid = i;
+    f.jeditaskid = 1;
+    f.lfn = pick("lfn.", 8);
+    f.dataset = pick("ds.", 3);
+    f.proddblock = pick("blk.", 3);
+    f.scope = pick("scope.", 2);
+    f.file_size = static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+    store.record_file(f);
+  }
+  for (int i = 0; i < 120; ++i) {
+    telemetry::TransferRecord t;
+    t.transfer_id = static_cast<std::uint64_t>(i);
+    t.jeditaskid = 1;
+    t.lfn = pick("lfn.", 8);
+    t.dataset = pick("ds.", 3);
+    t.proddblock = pick("blk.", 3);
+    t.scope = pick("scope.", 2);
+    t.file_size = static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+    store.record_transfer(t);
+  }
+
+  const core::MatchIndex index(store);
+  const auto files = store.files();
+  const auto transfers = store.transfers();
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    for (std::size_t ti = 0; ti < transfers.size(); ++ti) {
+      const auto& f = files[fi];
+      const auto& t = transfers[ti];
+      const bool by_strings = f.lfn == t.lfn && f.dataset == t.dataset &&
+                              f.proddblock == t.proddblock &&
+                              f.scope == t.scope &&
+                              f.file_size == t.file_size;
+      const bool by_keys = f.lfn_sym == t.lfn_sym &&
+                           index.file_key(fi) == index.transfer_key(ti);
+      EXPECT_EQ(by_strings, by_keys) << "file " << fi << " transfer " << ti;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternerSweep,
+                         ::testing::Values(3u, 17u, 2026u, 80526u));
 
 // --- corruption monotonicity ------------------------------------------
 
