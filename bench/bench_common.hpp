@@ -20,10 +20,14 @@ struct Context {
 };
 
 /// Runs the standard 8-day paper-scale campaign (override the seed with
-/// argv[1] or PANDARUS_SEED) and links jobs to transfers with all three
-/// strategies.
+/// argv[1] or PANDARUS_SEED, the length with PANDARUS_DAYS) and links
+/// jobs to transfers with all three strategies.  Also arms the
+/// PANDARUS_METRICS / PANDARUS_TRACE observability hooks, so any bench
+/// can dump a metrics snapshot and a Chrome trace with no code changes.
 inline Context run_paper_campaign(int argc, char** argv,
                                   double days_override = 0.0) {
+  obs::install_env_hooks();
+
   scenario::ScenarioConfig config = scenario::ScenarioConfig::paper_scale();
   config.seed = kDefaultSeed;
   if (const char* env = std::getenv("PANDARUS_SEED")) {
@@ -31,6 +35,10 @@ inline Context run_paper_campaign(int argc, char** argv,
   }
   if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
   if (days_override > 0.0) config.days = days_override;
+  if (const char* env = std::getenv("PANDARUS_DAYS")) {
+    const double days = std::strtod(env, nullptr);
+    if (days > 0.0) config.days = days;
+  }
 
   Context ctx{scenario::run_campaign(config), {}};
   const core::Matcher matcher(ctx.result.store);
@@ -58,7 +66,18 @@ inline void campaign_line(const Context& ctx) {
             << " moved) over "
             << util::to_days(ctx.result.window_end -
                              ctx.result.window_begin)
-            << " simulated days\n\n";
+            << " simulated days\n";
+  // Wall-clock footer, read back from the obs registry the pipeline
+  // instruments into (run_campaign's gauge, Matcher::run's counters).
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const std::uint64_t match_us =
+      snap.counter_value("pandarus_match_run_wall_us_total");
+  const std::uint64_t match_runs = snap.counter_value("pandarus_match_runs_total");
+  std::cout << "[timing]   campaign "
+            << snap.gauge_value("pandarus_campaign_last_wall_ms")
+            << " ms wall, matching "
+            << static_cast<double>(match_us) / 1000.0 << " ms wall over "
+            << match_runs << " run(s)\n\n";
 }
 
 }  // namespace pandarus::bench

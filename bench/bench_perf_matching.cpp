@@ -169,4 +169,13 @@ BENCHMARK(BM_SchedulerThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the PANDARUS_METRICS / PANDARUS_TRACE env
+// hooks cover the microbenchmarks too (snapshot + Chrome trace at exit).
+int main(int argc, char** argv) {
+  pandarus::obs::install_env_hooks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,6 +29,8 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace pandarus;
 
+  obs::install_env_hooks();
+
   scenario::ScenarioConfig config = scenario::ScenarioConfig::paper_scale();
   config.seed = 20250401;
   std::string prefix = "campaign";

@@ -4,6 +4,8 @@
 #include <future>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace pandarus::core {
@@ -118,6 +120,12 @@ void build_csr(parallel::ThreadPool* pool, std::size_t n_items,
 MatchIndex::MatchIndex(const telemetry::MetadataStore& store,
                        parallel::ThreadPool* pool)
     : store_(&store) {
+  const obs::ScopedSpan span(pool != nullptr ? "match_index/build_parallel"
+                                             : "match_index/build",
+                             "core");
+  static obs::Counter& builds = obs::Registry::global().counter(
+      "pandarus_match_index_builds_total", "MatchIndex constructions");
+  builds.inc();
   const auto jobs = store.jobs();
   const auto files = store.files();
   const auto transfers = store.transfers();

@@ -1,8 +1,12 @@
 #include "core/parallel_driver.hpp"
 
+#include "obs/trace.hpp"
+
 namespace pandarus::core {
 
 MatchResult ParallelMatchDriver::run(const MatchOptions& options) const {
+  const obs::ScopedSpan span("match/parallel_run", "core",
+                             static_cast<std::int64_t>(options.method));
   const std::size_t n = matcher_->store().jobs().size();
 
   MatchResult out = parallel::parallel_reduce<MatchResult>(

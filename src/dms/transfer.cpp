@@ -4,7 +4,43 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace pandarus::dms {
+namespace {
+
+/// obs mirrors of the engine's Stats plus link-level churn, resolved
+/// once per process and shared by every TransferEngine instance.
+struct EngineMetrics {
+  obs::Counter& submitted = obs::Registry::global().counter(
+      "pandarus_dms_transfers_submitted_total", "Transfer requests queued");
+  obs::Counter& completed = obs::Registry::global().counter(
+      "pandarus_dms_transfers_completed_total",
+      "Transfers finished successfully");
+  obs::Counter& failed = obs::Registry::global().counter(
+      "pandarus_dms_transfers_failed_total",
+      "Transfers terminally failed (retries exhausted)");
+  obs::Counter& retries = obs::Registry::global().counter(
+      "pandarus_dms_transfer_retries_total", "Failed attempts requeued");
+  obs::Counter& bytes_moved = obs::Registry::global().counter(
+      "pandarus_dms_bytes_moved_total", "Payload bytes of completed transfers");
+  obs::Counter& link_rerates = obs::Registry::global().counter(
+      "pandarus_dms_link_rerates_total",
+      "Per-link fair-share rate re-evaluations");
+  obs::Counter& reschedules = obs::Registry::global().counter(
+      "pandarus_dms_transfer_reschedules_total",
+      "Completion events moved because link sharing changed");
+  obs::Gauge& in_flight = obs::Registry::global().gauge(
+      "pandarus_dms_transfers_in_flight",
+      "Transfers submitted but not yet finalized");
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 // One transfer occupying a slot on a link.
 struct TransferEngine::Active {
@@ -71,6 +107,8 @@ std::uint64_t TransferEngine::submit(TransferRequest request) {
   ls.pending.push_back(std::move(active));
   ++stats_.submitted;
   ++in_flight_;
+  EngineMetrics::get().submitted.inc();
+  EngineMetrics::get().in_flight.add(1);
   try_start(ls);
   return id;
 }
@@ -117,6 +155,8 @@ void TransferEngine::update_rates(LinkState& ls) {
   const double capacity = std::max(link.effective_capacity(now), 1e3);
   const double fair_share =
       capacity / static_cast<double>(ls.active.size());
+  EngineMetrics::get().link_rerates.inc();
+  EngineMetrics::get().reschedules.inc(ls.active.size());
 
   for (auto& active : ls.active) {
     // Account progress since the last rate change.
@@ -166,6 +206,7 @@ void TransferEngine::complete(LinkState& ls, Active* active) {
   if (attempt_failed && done->attempt < params_.max_attempts) {
     // Retry: requeue the transfer with attempt bumped.
     ++stats_.retries;
+    EngineMetrics::get().retries.inc();
     done->attempt += 1;
     done->finish_event = {};
     done->rate_bps = 0.0;
@@ -197,6 +238,8 @@ void TransferEngine::finalize(std::unique_ptr<Active> active, bool success) {
   if (success) {
     ++stats_.completed;
     stats_.bytes_moved += active->request.size_bytes;
+    EngineMetrics::get().completed.inc();
+    EngineMetrics::get().bytes_moved.inc(active->request.size_bytes);
     if (active->request.dst_rse != kNoRse) {
       if (rng_.bernoulli(params_.registration_failure_prob)) {
         ++stats_.registration_failures;
@@ -212,8 +255,10 @@ void TransferEngine::finalize(std::unique_ptr<Active> active, bool success) {
     }
   } else {
     ++stats_.failed;
+    EngineMetrics::get().failed.inc();
   }
   --in_flight_;
+  EngineMetrics::get().in_flight.add(-1);
 
   if (active->request.on_complete) active->request.on_complete(outcome);
   if (sink_) sink_(outcome);

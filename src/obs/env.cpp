@@ -1,0 +1,68 @@
+#include "obs/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace pandarus::obs {
+namespace {
+
+std::string g_metrics_path;
+std::string g_trace_path;
+TraceRecorder* g_env_recorder = nullptr;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_line(util::LogLevel::kWarning,
+                   "obs: cannot open metrics output file " + path);
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+void dump_at_exit() {
+  if (!g_metrics_path.empty()) {
+    write_text_file(g_metrics_path, ends_with(g_metrics_path, ".prom")
+                                        ? export_prometheus()
+                                        : export_json());
+  }
+  if (g_env_recorder != nullptr) {
+    g_env_recorder->write_chrome_trace(g_trace_path);
+  }
+}
+
+bool install_once() {
+  const char* metrics = std::getenv("PANDARUS_METRICS");
+  const char* trace = std::getenv("PANDARUS_TRACE");
+  if (metrics == nullptr && trace == nullptr) return false;
+  if (metrics != nullptr) g_metrics_path = metrics;
+  if (trace != nullptr) {
+    g_trace_path = trace;
+    // Leaked on purpose: spans may close during static destruction,
+    // after which the recorder must still be alive to receive them.
+    g_env_recorder = new TraceRecorder();
+    g_env_recorder->install();
+  }
+  std::atexit(dump_at_exit);
+  return true;
+}
+
+}  // namespace
+
+bool install_env_hooks() {
+  static const bool active = install_once();
+  return active;
+}
+
+}  // namespace pandarus::obs

@@ -1,0 +1,19 @@
+// Environment-driven observability hooks shared by every bench/example:
+//
+//   PANDARUS_METRICS=<path>  dump a global-registry snapshot at exit
+//                            (Prometheus text if <path> ends in .prom,
+//                            JSON otherwise);
+//   PANDARUS_TRACE=<path>    install a process-lifetime TraceRecorder
+//                            now and write Chrome trace JSON at exit.
+//
+// One call near the start of main() is enough; binaries need no other
+// per-binary wiring.
+#pragma once
+
+namespace pandarus::obs {
+
+/// Reads both variables once and registers the atexit writer when
+/// either is set.  Idempotent; returns true iff a hook is active.
+bool install_env_hooks();
+
+}  // namespace pandarus::obs

@@ -1,0 +1,269 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pandarus::obs {
+namespace {
+
+/// Doubles in exports must stay valid JSON: no inf/nan, round-trippable
+/// precision.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+template <typename T>
+void sort_by_name(std::vector<T>& values) {
+  std::sort(values.begin(), values.end(),
+            [](const T& a, const T& b) { return a.name < b.name; });
+}
+
+}  // namespace
+
+// --- Counter --------------------------------------------------------------
+
+Counter::Counter(std::string name, std::string help)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      cells_(std::make_unique<Cell[]>(kShards)) {}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    total += cells_[i].v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::size_t Counter::shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  static thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return idx;
+}
+
+// --- Gauge ----------------------------------------------------------------
+
+Gauge::Gauge(std::string name, std::string help)
+    : name_(std::move(name)), help_(std::move(help)) {}
+
+// --- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::string help,
+                     std::vector<double> bounds)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      bounds_(std::move(bounds)),
+      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() +
+                                                              1)) {}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add for toolchain
+  // portability; contention here is per-observation, not per-candidate.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+// --- Snapshot -------------------------------------------------------------
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t Snapshot::gauge_value(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+// --- Registry -------------------------------------------------------------
+
+Registry& Registry::global() {
+  // Leaked intentionally: instrumented code may run from atexit hooks
+  // and static destructors, so the registry must never be torn down.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::scoped_lock lock(mutex_);
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return *counters_[it->second];
+  counters_.push_back(std::unique_ptr<Counter>(
+      new Counter(std::string(name), std::string(help))));
+  counter_index_.emplace(std::string(name), counters_.size() - 1);
+  return *counters_.back();
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  std::scoped_lock lock(mutex_);
+  const auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return *gauges_[it->second];
+  gauges_.push_back(
+      std::unique_ptr<Gauge>(new Gauge(std::string(name), std::string(help))));
+  gauge_index_.emplace(std::string(name), gauges_.size() - 1);
+  return *gauges_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds,
+                               std::string_view help) {
+  std::scoped_lock lock(mutex_);
+  const auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return *histograms_[it->second];
+  histograms_.push_back(std::unique_ptr<Histogram>(new Histogram(
+      std::string(name), std::string(help), std::move(bounds))));
+  histogram_index_.emplace(std::string(name), histograms_.size() - 1);
+  return *histograms_.back();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  {
+    std::scoped_lock lock(mutex_);
+    out.counters.reserve(counters_.size());
+    for (const auto& c : counters_) {
+      out.counters.push_back({c->name(), c->help(), c->value()});
+    }
+    out.gauges.reserve(gauges_.size());
+    for (const auto& g : gauges_) {
+      out.gauges.push_back({g->name(), g->help(), g->value()});
+    }
+    out.histograms.reserve(histograms_.size());
+    for (const auto& h : histograms_) {
+      Snapshot::HistogramValue v;
+      v.name = h->name();
+      v.help = h->help();
+      v.bounds = h->bounds();
+      v.buckets.resize(v.bounds.size() + 1);
+      for (std::size_t i = 0; i < v.buckets.size(); ++i) {
+        v.buckets[i] = h->bucket(i);
+      }
+      v.count = h->count();
+      v.sum = h->sum();
+      out.histograms.push_back(std::move(v));
+    }
+  }
+  sort_by_name(out.counters);
+  sort_by_name(out.gauges);
+  sort_by_name(out.histograms);
+  return out;
+}
+
+// --- Exporters ------------------------------------------------------------
+
+std::string export_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, c.name);
+    out += ": " + std::to_string(c.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, g.name);
+    out += ": " + std::to_string(g.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, h.name);
+    out += ": {\"buckets\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "[" + format_double(h.bounds[i]) + ", " +
+             std::to_string(h.buckets[i]) + "]";
+    }
+    out += "], \"overflow\": " + std::to_string(h.buckets.back()) +
+           ", \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + format_double(h.sum) + "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string export_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  const auto header = [&out](const std::string& name, const std::string& help,
+                             const char* type) {
+    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+  };
+  for (const auto& c : snapshot.counters) {
+    header(c.name, c.help, "counter");
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    header(g.name, g.help, "gauge");
+    out += g.name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    header(h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += h.name + "_bucket{le=\"" + format_double(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += h.buckets.back();
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += h.name + "_sum " + format_double(h.sum) + "\n";
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string export_json() { return export_json(Registry::global().snapshot()); }
+
+std::string export_prometheus() {
+  return export_prometheus(Registry::global().snapshot());
+}
+
+}  // namespace pandarus::obs

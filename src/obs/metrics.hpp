@@ -1,0 +1,200 @@
+// Metrics core: a registry of named counters, gauges and histograms.
+//
+// The paper's thesis is observability applied to production data
+// infrastructure; this is the same idea applied to the reproduction
+// pipeline itself.  Design constraints, in order:
+//
+//  * hot-path increments must be wait-free and cache-friendly — a
+//    Counter is a bank of cache-line-padded per-thread cells and inc()
+//    is one relaxed fetch_add on this thread's cell (no lock, no false
+//    sharing); the true total is summed only at snapshot time;
+//  * registration is rare and may lock — callers resolve a metric once
+//    (by name, creating it on first use) and keep the returned
+//    reference, whose address is stable for the registry's lifetime;
+//  * snapshots are deterministic — metrics are exported sorted by name
+//    so JSON/Prometheus dumps diff cleanly across runs.
+//
+// Naming convention: `pandarus_<subsystem>_<what>[_total]` (Prometheus
+// style; `_total` marks monotonic counters).  See DESIGN.md §11.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pandarus::obs {
+
+/// Monotonic counter, thread-sharded.  inc() is a relaxed atomic add on
+/// a per-thread cache-line-padded cell; value() sums the cells (it may
+/// lag concurrent writers, which is fine for telemetry).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 64;  // power of two
+
+  void inc(std::uint64_t delta = 1) noexcept {
+    cells_[shard_index()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  friend class Registry;
+  Counter(std::string name, std::string help);
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  /// Threads are spread over the cell bank round-robin at first use;
+  /// the assignment is per-thread for the whole process, so two
+  /// counters never force one thread onto different cache lines.
+  static std::size_t shard_index() noexcept;
+
+  std::string name_;
+  std::string help_;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+/// Last-write-wins signed gauge (queue depths, heap sizes, in-flight
+/// totals).  set()/add() are single relaxed atomics.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  friend class Registry;
+  Gauge(std::string name, std::string help);
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  std::string name_;
+  std::string help_;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Prometheus-style histogram: `bounds` are strictly increasing upper
+/// bucket edges (a sample lands in the first bucket with value <=
+/// bound; larger samples land in the implicit +Inf bucket).  Buckets
+/// are plain atomics — histograms record per-task/per-job quantities,
+/// not per-candidate hot-loop ones, so sharding isn't warranted.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Non-cumulative count for bucket i; i == bounds().size() is +Inf.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& help() const noexcept { return help_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::string help, std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every metric, sorted by name within each kind.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::string help;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::string help;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::string help;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (+Inf last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Counter value by exact name; 0 when absent (funnel printers don't
+  /// want to care whether a stage ever fired).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const noexcept;
+  /// Gauge value by exact name; 0 when absent.
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const noexcept;
+};
+
+/// Named-metric registry.  `global()` is the process-wide instance the
+/// pipeline instruments into; tests construct private registries.
+/// Lookup-or-create takes a mutex; returned references stay valid (and
+/// lock-free to update) for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  /// `bounds` must be strictly increasing; it is fixed at first
+  /// registration (later calls with the same name ignore it).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
+};
+
+/// Renders a snapshot as a JSON object (counters/gauges/histograms maps).
+[[nodiscard]] std::string export_json(const Snapshot& snapshot);
+/// Renders a snapshot in Prometheus text exposition format.
+[[nodiscard]] std::string export_prometheus(const Snapshot& snapshot);
+/// Convenience: snapshot of the global registry.
+[[nodiscard]] std::string export_json();
+[[nodiscard]] std::string export_prometheus();
+
+}  // namespace pandarus::obs

@@ -46,6 +46,9 @@
 #include "grid/load_model.hpp"
 #include "grid/site.hpp"
 #include "grid/topology.hpp"
+#include "obs/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/config.hpp"

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace pandarus::parallel {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : tasks_executed_(&obs::Registry::global().counter(
+          "pandarus_pool_tasks_executed_total",
+          "Tasks dequeued and run by thread-pool workers")),
+      queue_depth_(&obs::Registry::global().gauge(
+          "pandarus_pool_queue_depth",
+          "Tasks waiting in the pool queue (last observed)")),
+      task_wait_(&obs::Registry::global().histogram(
+          "pandarus_pool_task_wait_seconds",
+          {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0},
+          "Submit-to-dequeue wait per task")) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -25,16 +37,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
       ++active_;
     }
-    task();
+    task_wait_->observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - task.enqueued)
+                            .count());
+    tasks_executed_->inc();
+    {
+      const obs::ScopedSpan span("pool/task", "parallel");
+      task.fn();
+    }
     {
       std::scoped_lock lock(mutex_);
       --active_;

@@ -6,6 +6,7 @@
 // job partitions through this pool.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +16,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace pandarus::parallel {
 
@@ -38,7 +41,9 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::scoped_lock lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back(QueuedTask{[task] { (*task)(); },
+                                  std::chrono::steady_clock::now()});
+      queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return future;
@@ -48,15 +53,27 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// A queued closure plus its enqueue instant, so workers can report
+  /// how long it waited (pandarus_pool_task_wait_seconds).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  // Process-wide pool metrics (all ThreadPool instances aggregate into
+  // the same series; the depth gauge is last-writer-wins).
+  obs::Counter* tasks_executed_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* task_wait_;
 };
 
 /// Splits [0, n) into roughly equal chunks and runs `body(begin, end)` on

@@ -1,12 +1,15 @@
 #include "scenario/campaign.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "dms/deletion.hpp"
 #include "dms/rule.hpp"
 #include "dms/selector.hpp"
 #include "dms/transfer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/recorder.hpp"
 #include "util/log.hpp"
@@ -40,8 +43,17 @@ void create_rses(const grid::Topology& topology, dms::RseRegistry& rses) {
 }  // namespace
 
 ScenarioResult run_campaign(const ScenarioConfig& config) {
+  const obs::ScopedSpan campaign_span("campaign/run", "scenario");
+  const std::int64_t wall_start_us = obs::TraceRecorder::now_us();
+  obs::Registry::global()
+      .counter("pandarus_campaign_runs_total", "Campaigns simulated")
+      .inc();
+
   ScenarioResult result;
   util::Rng rng(config.seed);
+
+  std::optional<obs::ScopedSpan> phase_span;
+  phase_span.emplace("campaign/setup", "scenario");
 
   // --- substrate construction -------------------------------------------
   grid::TopologyParams topo_params = config.topology;
@@ -226,7 +238,23 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   }
 
   workload.start(arrivals_until);
-  scheduler.run_until(result.window_end + util::days(3));
+  phase_span.reset();
+
+  // The drain loop is segmented at simulated-day boundaries purely for
+  // observability: run_until over consecutive prefixes fires the same
+  // events in the same order as one call, and each segment becomes a
+  // "campaign/day" span (arg = day index) in the trace.
+  {
+    const obs::ScopedSpan simulate_span("campaign/simulate", "scenario");
+    const util::SimTime horizon = result.window_end + util::days(3);
+    std::int64_t day = 0;
+    for (util::SimTime t = 0; t < horizon; ++day) {
+      t = std::min(horizon, t + util::days(1));
+      const obs::ScopedSpan day_span("campaign/day", "scenario", day);
+      scheduler.run_until(t);
+    }
+  }
+  phase_span.emplace("campaign/post_process", "scenario");
 
   if (!scheduler.empty()) {
     util::log_warning() << "campaign drained incompletely: events remain "
@@ -245,6 +273,12 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   result.rules = rule_engine.stats();
   result.workload = workload.stats();
   result.events_processed = scheduler.processed_count();
+
+  phase_span.reset();
+  obs::Registry::global()
+      .gauge("pandarus_campaign_last_wall_ms",
+             "Wall-clock milliseconds of the most recent run_campaign")
+      .set((obs::TraceRecorder::now_us() - wall_start_us) / 1000);
   return result;
 }
 

@@ -22,10 +22,26 @@ bool Scheduler::EventHandle::pending() const noexcept {
   return state_ && !state_->cancelled && !state_->fired;
 }
 
+Scheduler::Scheduler()
+    : ev_scheduled_(&obs::Registry::global().counter(
+          "pandarus_sim_events_scheduled_total",
+          "Events pushed onto the simulation heap")),
+      ev_fired_(&obs::Registry::global().counter(
+          "pandarus_sim_events_fired_total",
+          "Events whose callback actually ran")),
+      ev_cancelled_(&obs::Registry::global().counter(
+          "pandarus_sim_events_cancelled_total",
+          "Cancelled events skipped when popped")),
+      heap_size_(&obs::Registry::global().gauge(
+          "pandarus_sim_heap_size",
+          "Live size of the simulation event heap (last observed)")) {}
+
 Scheduler::EventHandle Scheduler::schedule_at(SimTime t, Callback fn) {
   auto state = std::make_shared<EventHandle::State>();
   state->callback = std::move(fn);
   queue_.push(Entry{std::max(t, now_), next_seq_++, state});
+  ev_scheduled_->inc();
+  heap_size_->set(static_cast<std::int64_t>(queue_.size()));
   return EventHandle(std::move(state));
 }
 
@@ -38,15 +54,21 @@ bool Scheduler::step() {
   while (!queue_.empty()) {
     Entry entry = queue_.top();
     queue_.pop();
-    if (entry.state->cancelled) continue;
+    if (entry.state->cancelled) {
+      ev_cancelled_->inc();
+      continue;
+    }
     now_ = entry.time;
     entry.state->fired = true;
     Callback fn = std::move(entry.state->callback);
     entry.state->callback = nullptr;
     ++processed_;
+    ev_fired_->inc();
+    heap_size_->set(static_cast<std::int64_t>(queue_.size()));
     fn();
     return true;
   }
+  heap_size_->set(0);
   return false;
 }
 

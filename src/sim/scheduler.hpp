@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/time.hpp"
 
 namespace pandarus::sim {
@@ -44,7 +45,7 @@ class Scheduler {
     std::shared_ptr<State> state_;
   };
 
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -90,6 +91,12 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
+  // Process-wide simulator metrics; the heap gauge is last-writer-wins
+  // when several schedulers coexist (e.g. benchmark iterations).
+  obs::Counter* ev_scheduled_;
+  obs::Counter* ev_fired_;
+  obs::Counter* ev_cancelled_;
+  obs::Gauge* heap_size_;
 };
 
 }  // namespace pandarus::sim

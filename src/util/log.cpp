@@ -1,14 +1,13 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <mutex>
 
 namespace pandarus::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,6 +18,21 @@ const char* level_tag(LogLevel level) {
     case LogLevel::kOff: return "OFF  ";
   }
   return "?    ";
+}
+
+/// Wall-clock "HH:MM:SS.mmm" (UTC-agnostic: seconds within the day).
+void append_timestamp(std::string& out) {
+  using namespace std::chrono;
+  const auto now = system_clock::now().time_since_epoch();
+  const auto ms = duration_cast<milliseconds>(now).count();
+  const auto in_day = ms % (24LL * 3600 * 1000);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld.%03lld",
+                static_cast<long long>(in_day / 3'600'000),
+                static_cast<long long>(in_day / 60'000 % 60),
+                static_cast<long long>(in_day / 1000 % 60),
+                static_cast<long long>(in_day % 1000));
+  out += buf;
 }
 
 }  // namespace
@@ -33,8 +47,19 @@ LogLevel log_level() noexcept {
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
-  std::scoped_lock lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  // The full line is assembled first and written with ONE fwrite: stdio
+  // locks the stream per call, so concurrent workers (thread-pool tasks,
+  // obs drop warnings) can interleave whole lines but never fragments.
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += '[';
+  append_timestamp(line);
+  line += "] [";
+  line += level_tag(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace pandarus::util

@@ -1,5 +1,7 @@
 // Tiny leveled logger.  Thread-safe, globally leveled; benches set
 // kWarning to keep table output clean while examples run at kInfo.
+// Each line is timestamped and emitted with a single fwrite, so
+// concurrent workers never interleave partial lines.
 #pragma once
 
 #include <sstream>

@@ -1,0 +1,339 @@
+// Tests for the obs layer: sharded counter aggregation under thread-pool
+// contention, histogram bucket edges, exporter well-formedness (parsed
+// back with a minimal JSON parser), trace-event recording, and the
+// determinism guard (instrumented and uninstrumented campaigns must
+// produce identical matched-job counts).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/relaxed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "scenario/campaign.hpp"
+
+namespace {
+
+using namespace pandarus;
+
+// --- minimal JSON parser (validation only) --------------------------------
+// Recursive descent over the full grammar; returns true iff the input is
+// one well-formed JSON value with nothing but whitespace after it.
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// --- registry -------------------------------------------------------------
+
+TEST(ObsCounter, AggregatesUnderThreadPoolContention) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("test_contended_total");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIncrements = 20'000;
+
+  parallel::ThreadPool pool(kThreads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    futures.push_back(pool.submit([&counter] {
+      for (std::uint64_t i = 0; i < kIncrements; ++i) counter.inc();
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  EXPECT_EQ(counter.value(), kThreads * kIncrements);
+  EXPECT_EQ(registry.snapshot().counter_value("test_contended_total"),
+            kThreads * kIncrements);
+}
+
+TEST(ObsCounter, LookupByNameReturnsSameInstance) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("dup_total", "first help wins");
+  obs::Counter& b = registry.counter("dup_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(a.help(), "first help wins");
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.gauge("test_depth");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.set(-5);
+  EXPECT_EQ(registry.snapshot().gauge_value("test_depth"), -5);
+}
+
+TEST(ObsHistogram, BucketEdgesAreInclusiveUpperBounds) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("test_hist", {1.0, 2.0, 4.0});
+
+  h.observe(0.5);  // <= 1       -> bucket 0
+  h.observe(1.0);  // == edge    -> bucket 0 (le semantics)
+  h.observe(1.5);  // <= 2       -> bucket 1
+  h.observe(4.0);  // == edge    -> bucket 2
+  h.observe(99.0);  // > last    -> +Inf bucket
+
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 99.0);
+
+  const obs::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets.size(), 4u);
+  EXPECT_EQ(snap.histograms[0].count, 5u);
+}
+
+TEST(ObsSnapshot, SortedByNameAndMissingLookupsAreZero) {
+  obs::Registry registry;
+  registry.counter("zebra_total").inc();
+  registry.counter("alpha_total").inc(2);
+  const obs::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha_total");
+  EXPECT_EQ(snap.counters[1].name, "zebra_total");
+  EXPECT_EQ(snap.counter_value("does_not_exist"), 0u);
+  EXPECT_EQ(snap.gauge_value("does_not_exist"), 0);
+}
+
+// --- exporters ------------------------------------------------------------
+
+TEST(ObsExport, JsonParsesBack) {
+  obs::Registry registry;
+  registry.counter("c_total", "a counter").inc(42);
+  registry.gauge("g").set(-7);
+  obs::Histogram& h = registry.histogram("h_seconds", {0.001, 0.1, 1.0});
+  h.observe(0.05);
+  h.observe(5.0);
+
+  const std::string json = obs::export_json(registry.snapshot());
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"c_total\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\": 1"), std::string::npos);
+}
+
+TEST(ObsExport, PrometheusShape) {
+  obs::Registry registry;
+  registry.counter("c_total", "help text").inc(3);
+  registry.gauge("g").set(9);
+  obs::Histogram& h = registry.histogram("h_seconds", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+
+  const std::string text = obs::export_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# HELP c_total help text\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE c_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("c_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g gauge\n"), std::string::npos);
+  // Buckets are cumulative in the exposition format.
+  EXPECT_NE(text.find("h_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("h_seconds_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("h_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("h_seconds_count 3\n"), std::string::npos);
+}
+
+// --- tracing --------------------------------------------------------------
+
+TEST(ObsTrace, ChromeJsonIsWellFormedAcrossThreads) {
+  obs::TraceRecorder recorder;
+  recorder.install();
+  {
+    const obs::ScopedSpan outer("outer", "test", 42);
+    parallel::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 4; ++t) {
+      futures.push_back(pool.submit([] {
+        for (int i = 0; i < 50; ++i) {
+          const obs::ScopedSpan span("worker_span", "test");
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+    pool.wait_idle();
+  }
+  recorder.uninstall();
+
+  // 1 outer + 4*50 worker spans, plus the pool's own pool/task spans.
+  EXPECT_GE(recorder.event_count(), 201u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"worker_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"v\": 42}"), std::string::npos);
+}
+
+TEST(ObsTrace, OverflowCountsDroppedAndJsonStaysValid) {
+  obs::TraceRecorder recorder(/*max_events_per_thread=*/4);
+  recorder.install();
+  for (int i = 0; i < 10; ++i) {
+    const obs::ScopedSpan span("tiny", "test");
+  }
+  recorder.uninstall();
+  EXPECT_EQ(recorder.event_count(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  EXPECT_TRUE(JsonValidator(recorder.to_chrome_json()).valid());
+}
+
+TEST(ObsTrace, NoRecorderMeansNoRecording) {
+  ASSERT_EQ(obs::TraceRecorder::installed(), nullptr);
+  {
+    const obs::ScopedSpan span("ignored", "test");
+  }
+  obs::TraceRecorder recorder;
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+// --- determinism guard ------------------------------------------------------
+
+TEST(ObsDeterminism, InstrumentedRunMatchesUninstrumentedRun) {
+  scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+  config.days = 0.5;
+  config.seed = 20250401;
+
+  const auto run_once = [&config] {
+    const scenario::ScenarioResult result = scenario::run_campaign(config);
+    const core::Matcher matcher(result.store);
+    const core::TriMatchResult tri = core::run_all_methods(matcher);
+    return std::tuple{result.events_processed,
+                      tri.exact.matched_job_count(),
+                      tri.rm1.matched_job_count(),
+                      tri.rm2.matched_job_count()};
+  };
+
+  const auto plain = run_once();
+
+  obs::TraceRecorder recorder;
+  recorder.install();
+  const auto traced = run_once();
+  recorder.uninstall();
+
+  EXPECT_EQ(plain, traced);
+  EXPECT_GT(recorder.event_count(), 0u);
+}
+
+}  // namespace
