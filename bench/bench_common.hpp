@@ -68,16 +68,23 @@ inline void campaign_line(const Context& ctx) {
                              ctx.result.window_begin)
             << " simulated days\n";
   // Wall-clock footer, read back from the obs registry the pipeline
-  // instruments into (run_campaign's gauge, Matcher::run's counters).
+  // instruments into (run_campaign's gauge, Matcher::run's counters) —
+  // printed only when the registry actually holds wall-clock data, so a
+  // context built without the instrumented pipeline (or after
+  // reset_for_test) doesn't print a row of zeros.
   const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const std::int64_t campaign_ms =
+      snap.gauge_value("pandarus_campaign_last_wall_ms");
   const std::uint64_t match_us =
       snap.counter_value("pandarus_match_run_wall_us_total");
   const std::uint64_t match_runs = snap.counter_value("pandarus_match_runs_total");
-  std::cout << "[timing]   campaign "
-            << snap.gauge_value("pandarus_campaign_last_wall_ms")
-            << " ms wall, matching "
-            << static_cast<double>(match_us) / 1000.0 << " ms wall over "
-            << match_runs << " run(s)\n\n";
+  if (campaign_ms > 0 || match_runs > 0) {
+    std::cout << "[timing]   campaign " << campaign_ms
+              << " ms wall, matching "
+              << static_cast<double>(match_us) / 1000.0 << " ms wall over "
+              << match_runs << " run(s)\n";
+  }
+  std::cout << '\n';
 }
 
 }  // namespace pandarus::bench

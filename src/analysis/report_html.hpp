@@ -1,0 +1,34 @@
+// Single-file HTML campaign report, generated offline from a replayed
+// event stream (no live simulator state).  Everything is inline — plain
+// tables, SVG sparklines for the bandwidth and sampler series, an SVG
+// site-by-site transfer heatmap — so the file can be archived or
+// attached to CI runs as one artifact.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "analysis/events_replay.hpp"
+#include "util/time.hpp"
+
+namespace pandarus::analysis {
+
+struct HtmlReportOptions {
+  std::string title = "pandarus campaign report";
+  /// Bandwidth sparklines: top-k matched (src, dst) pairs per locality.
+  std::size_t top_pairs = 4;
+  util::SimDuration bandwidth_bin = util::hours(1);
+  /// Rows in each Fig. 5/6-style queuing table.
+  std::size_t breakdown_top_n = 10;
+  /// Transfer time must exceed this share of queuing time to qualify.
+  double breakdown_min_fraction = 0.1;
+};
+
+/// Re-runs the three matching methods on the replayed store and writes
+/// the full report.  A replay with no harvest records still produces a
+/// valid (mostly empty) document.
+void write_html_report(std::ostream& os, const ReplayResult& replay,
+                       const HtmlReportOptions& options = {});
+
+}  // namespace pandarus::analysis

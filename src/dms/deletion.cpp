@@ -1,5 +1,7 @@
 #include "dms/deletion.hpp"
 
+#include "obs/event_log.hpp"
+
 namespace pandarus::dms {
 
 DeletionDaemon::DeletionDaemon(sim::Scheduler& scheduler,
@@ -16,6 +18,8 @@ DeletionDaemon::DeletionDaemon(sim::Scheduler& scheduler,
 
 std::uint32_t DeletionDaemon::sweep_once() {
   ++stats_.sweeps;
+  const std::uint64_t replicas_before = stats_.replicas_deleted;
+  const std::uint64_t bytes_before = stats_.bytes_deleted;
   std::uint32_t expired = 0;
   for (DatasetId ds : transient_) {
     if (!rng_.bernoulli(params_.expiry_prob)) continue;
@@ -37,6 +41,14 @@ std::uint32_t DeletionDaemon::sweep_once() {
       ++expired;
       ++stats_.datasets_expired;
     }
+  }
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("deletion_sweep", scheduler_.now(),
+                         static_cast<std::int64_t>(stats_.sweeps))
+                  .field("expired", expired)
+                  .field("replicas_deleted",
+                         stats_.replicas_deleted - replicas_before)
+                  .field("bytes_deleted", stats_.bytes_deleted - bytes_before));
   }
   return expired;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/event_log.hpp"
+
 namespace pandarus::dms {
 
 RuleEngine::RuleEngine(sim::Scheduler& scheduler,
@@ -85,6 +87,12 @@ std::uint32_t RuleEngine::evaluate_once() {
     }
   }
   stats_.transfers_submitted += submitted;
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("rule_pass", scheduler_.now(),
+                         static_cast<std::int64_t>(stats_.passes))
+                  .field("rules", static_cast<std::uint64_t>(rules_.size()))
+                  .field("submitted", submitted));
+  }
   return submitted;
 }
 
@@ -117,6 +125,12 @@ std::uint32_t RuleEngine::stage_from_tape(DatasetId dataset,
     ++submitted;
   }
   stats_.staged_from_tape += submitted;
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("rule_stage", scheduler_.now(),
+                         static_cast<std::int64_t>(dataset))
+                  .field("site", site)
+                  .field("submitted", submitted));
+  }
   return submitted;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 
 namespace pandarus::dms {
@@ -109,6 +110,17 @@ std::uint64_t TransferEngine::submit(TransferRequest request) {
   ++in_flight_;
   EngineMetrics::get().submitted.inc();
   EngineMetrics::get().in_flight.add(1);
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    const TransferRequest& req = ls.pending.back()->request;
+    log->emit(obs::Event("transfer_submit", scheduler_.now(),
+                         static_cast<std::int64_t>(id))
+                  .field("file", static_cast<std::uint64_t>(req.file))
+                  .field("bytes", req.size_bytes)
+                  .field("src", req.src)
+                  .field("dst", req.dst)
+                  .field("activity", static_cast<std::int32_t>(req.activity))
+                  .field("task", req.jeditaskid));
+  }
   try_start(ls);
   return id;
 }
@@ -141,6 +153,14 @@ void TransferEngine::start_one(LinkState& ls) {
     active->stall_factor = std::exp(rng_.uniform(lo, hi));
   }
   active->doomed = rng_.bernoulli(params_.failure_prob);
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("transfer_start", scheduler_.now(),
+                         static_cast<std::int64_t>(active->id))
+                  .field("src", ls.key.src)
+                  .field("dst", ls.key.dst)
+                  .field("attempt", active->attempt)
+                  .field("effective_start", active->started_at));
+  }
   ls.active.push_back(std::move(active));
   schedule_rerate(ls);
 }
@@ -207,6 +227,13 @@ void TransferEngine::complete(LinkState& ls, Active* active) {
     // Retry: requeue the transfer with attempt bumped.
     ++stats_.retries;
     EngineMetrics::get().retries.inc();
+    if (obs::EventLog* log = obs::EventLog::installed()) {
+      log->emit(obs::Event("transfer_retry", scheduler_.now(),
+                           static_cast<std::int64_t>(done->id))
+                    .field("failed_attempt", done->attempt)
+                    .field("src", ls.key.src)
+                    .field("dst", ls.key.dst));
+    }
     done->attempt += 1;
     done->finish_event = {};
     done->rate_bps = 0.0;
@@ -260,8 +287,50 @@ void TransferEngine::finalize(std::unique_ptr<Active> active, bool success) {
   --in_flight_;
   EngineMetrics::get().in_flight.add(-1);
 
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event(outcome.success ? "transfer_done" : "transfer_fail",
+                         outcome.finished_at,
+                         static_cast<std::int64_t>(outcome.transfer_id))
+                  .field("bytes", outcome.size_bytes)
+                  .field("src", outcome.src)
+                  .field("dst", outcome.dst)
+                  .field("activity",
+                         static_cast<std::int32_t>(outcome.activity))
+                  .field("task", outcome.jeditaskid)
+                  .field("submitted", outcome.submitted_at)
+                  .field("started", outcome.started_at)
+                  .field("attempts", outcome.attempts)
+                  .field("registered", outcome.replica_registered));
+  }
+
   if (active->request.on_complete) active->request.on_complete(outcome);
   if (sink_) sink_(outcome);
+}
+
+std::vector<TransferEngine::LinkProbe> TransferEngine::probe_links() const {
+  std::vector<LinkProbe> probes;
+  probes.reserve(links_.size());
+  for (const auto& [key, ls] : links_) {
+    if (ls->active.empty() && ls->pending.empty()) continue;
+    LinkProbe p;
+    p.key = key;
+    p.active = static_cast<std::uint32_t>(ls->active.size());
+    p.queued = static_cast<std::uint32_t>(ls->pending.size());
+    for (const auto& a : ls->active) {
+      const double remaining =
+          std::max(0.0, static_cast<double>(a->request.size_bytes) -
+                            a->bytes_done);
+      p.bytes_in_flight += static_cast<std::uint64_t>(remaining);
+      p.rate_bps += a->rate_bps;
+    }
+    probes.push_back(p);
+  }
+  std::sort(probes.begin(), probes.end(),
+            [](const LinkProbe& a, const LinkProbe& b) {
+              if (a.key.src != b.key.src) return a.key.src < b.key.src;
+              return a.key.dst < b.key.dst;
+            });
+  return probes;
 }
 
 }  // namespace pandarus::dms

@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "dms/catalog.hpp"
 #include "dms/did.hpp"
@@ -117,6 +118,19 @@ class TransferEngine {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+
+  /// Point-in-time view of one link's load, for the periodic sampler.
+  struct LinkProbe {
+    grid::LinkKey key{};
+    std::uint32_t active = 0;          ///< transfers holding a slot
+    std::uint32_t queued = 0;          ///< transfers waiting for a slot
+    std::uint64_t bytes_in_flight = 0; ///< remaining bytes of active ones
+    double rate_bps = 0.0;             ///< summed assigned rates
+  };
+  /// Links with any current activity, sorted by (src, dst) so sampled
+  /// output is deterministic.  Read-only; byte progress is as of the
+  /// last rate re-evaluation.
+  [[nodiscard]] std::vector<LinkProbe> probe_links() const;
 
  private:
   struct Active;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -13,7 +14,9 @@ namespace {
 
 std::string g_metrics_path;
 std::string g_trace_path;
+std::string g_events_path;
 TraceRecorder* g_env_recorder = nullptr;
+EventLog* g_env_event_log = nullptr;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -40,12 +43,18 @@ void dump_at_exit() {
   if (g_env_recorder != nullptr) {
     g_env_recorder->write_chrome_trace(g_trace_path);
   }
+  if (g_env_event_log != nullptr) {
+    g_env_event_log->write_ndjson(g_events_path);
+  }
 }
 
 bool install_once() {
   const char* metrics = std::getenv("PANDARUS_METRICS");
   const char* trace = std::getenv("PANDARUS_TRACE");
-  if (metrics == nullptr && trace == nullptr) return false;
+  const char* events = std::getenv("PANDARUS_EVENTS");
+  if (metrics == nullptr && trace == nullptr && events == nullptr) {
+    return false;
+  }
   if (metrics != nullptr) g_metrics_path = metrics;
   if (trace != nullptr) {
     g_trace_path = trace;
@@ -54,6 +63,12 @@ bool install_once() {
     g_env_recorder = new TraceRecorder();
     g_env_recorder->install();
   }
+  if (events != nullptr) {
+    g_events_path = events;
+    // Leaked for the same reason as the trace recorder.
+    g_env_event_log = new EventLog();
+    g_env_event_log->install();
+  }
   std::atexit(dump_at_exit);
   return true;
 }
@@ -61,6 +76,9 @@ bool install_once() {
 }  // namespace
 
 bool install_env_hooks() {
+  // The magic-static initializer runs install_once() exactly once per
+  // process even under concurrent first calls, so repeated calls can
+  // never register a second atexit dump or a second recorder/log.
   static const bool active = install_once();
   return active;
 }

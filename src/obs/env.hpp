@@ -4,7 +4,11 @@
 //                            (Prometheus text if <path> ends in .prom,
 //                            JSON otherwise);
 //   PANDARUS_TRACE=<path>    install a process-lifetime TraceRecorder
-//                            now and write Chrome trace JSON at exit.
+//                            now and write Chrome trace JSON at exit;
+//   PANDARUS_EVENTS=<path>   install a process-lifetime EventLog now
+//                            and write the NDJSON event stream at exit
+//                            (consumed offline by pandarus-report and
+//                            analysis::replay_events).
 //
 // One call near the start of main() is enough; binaries need no other
 // per-binary wiring.
@@ -12,8 +16,10 @@
 
 namespace pandarus::obs {
 
-/// Reads both variables once and registers the atexit writer when
-/// either is set.  Idempotent; returns true iff a hook is active.
+/// Reads the variables once and registers the atexit writer when any is
+/// set.  Idempotent — repeated calls return the first call's result and
+/// never register duplicate atexit dumps.  Returns true iff a hook is
+/// active.
 bool install_env_hooks();
 
 }  // namespace pandarus::obs

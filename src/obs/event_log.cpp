@@ -1,0 +1,226 @@
+#include "obs/event_log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace pandarus::obs {
+namespace {
+
+std::uint64_t next_log_id() noexcept {
+  // Ids start at 1 so the thread-local cache's 0 means "no log".
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += '0';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+// --- Event ------------------------------------------------------------------
+
+Event::Event(std::string_view kind, std::int64_t ts, std::int64_t entity) {
+  line_.reserve(96);
+  line_ += "{\"ts\":";
+  line_ += std::to_string(ts);
+  line_ += ",\"kind\":\"";
+  append_escaped(line_, kind);
+  line_ += "\",\"entity\":";
+  line_ += std::to_string(entity);
+}
+
+Event::Event(std::string_view kind, std::int64_t ts, std::string_view entity) {
+  line_.reserve(96);
+  line_ += "{\"ts\":";
+  line_ += std::to_string(ts);
+  line_ += ",\"kind\":\"";
+  append_escaped(line_, kind);
+  line_ += "\",\"entity\":\"";
+  append_escaped(line_, entity);
+  line_ += '"';
+}
+
+void Event::append_key(std::string_view key) {
+  line_ += ",\"";
+  append_escaped(line_, key);
+  line_ += "\":";
+}
+
+Event&& Event::field(std::string_view key, std::int64_t v) && {
+  append_key(key);
+  line_ += std::to_string(v);
+  return std::move(*this);
+}
+
+Event&& Event::field(std::string_view key, std::uint64_t v) && {
+  append_key(key);
+  line_ += std::to_string(v);
+  return std::move(*this);
+}
+
+Event&& Event::field(std::string_view key, std::int32_t v) && {
+  return std::move(*this).field(key, static_cast<std::int64_t>(v));
+}
+
+Event&& Event::field(std::string_view key, std::uint32_t v) && {
+  return std::move(*this).field(key, static_cast<std::uint64_t>(v));
+}
+
+Event&& Event::field(std::string_view key, double v) && {
+  append_key(key);
+  append_double(line_, v);
+  return std::move(*this);
+}
+
+Event&& Event::field(std::string_view key, bool v) && {
+  append_key(key);
+  line_ += v ? "true" : "false";
+  return std::move(*this);
+}
+
+Event&& Event::field(std::string_view key, std::string_view v) && {
+  append_key(key);
+  line_ += '"';
+  append_escaped(line_, v);
+  line_ += '"';
+  return std::move(*this);
+}
+
+Event&& Event::field(std::string_view key, const char* v) && {
+  return std::move(*this).field(key, std::string_view(v));
+}
+
+// --- EventLog ---------------------------------------------------------------
+
+std::atomic<EventLog*> EventLog::g_installed{nullptr};
+
+EventLog::EventLog(std::size_t max_events)
+    : id_(next_log_id()), max_events_(max_events) {}
+
+EventLog::~EventLog() { uninstall(); }
+
+void EventLog::install() noexcept {
+  g_installed.store(this, std::memory_order_release);
+}
+
+void EventLog::uninstall() noexcept {
+  EventLog* self = this;
+  g_installed.compare_exchange_strong(self, nullptr,
+                                      std::memory_order_acq_rel);
+}
+
+EventLog::Buffer& EventLog::local_buffer() {
+  // Cache keyed on the log's process-unique id: a stale cache from a
+  // destroyed log can never collide with a live one.
+  static thread_local std::uint64_t t_owner_id = 0;
+  static thread_local Buffer* t_buffer = nullptr;
+  if (t_owner_id != id_) {
+    std::scoped_lock lock(mutex_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    t_buffer = buffers_.back().get();
+    t_owner_id = id_;
+  }
+  return *t_buffer;
+}
+
+void EventLog::emit(Event event) {
+  if (accepted_.fetch_add(1, std::memory_order_relaxed) >= max_events_) {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (!warned_dropped_.exchange(true, std::memory_order_relaxed)) {
+      util::log_line(util::LogLevel::kWarning,
+                     "obs: event log full, dropping events (raise "
+                     "max_events)");
+    }
+    return;
+  }
+  event.line_ += '}';
+  Buffer& buffer = local_buffer();
+  buffer.staged.push_back(
+      {next_seq_.fetch_add(1, std::memory_order_relaxed),
+       std::move(event.line_)});
+  if (buffer.staged.size() >= kDrainBatch) {
+    std::scoped_lock lock(mutex_);
+    drained_.insert(drained_.end(),
+                    std::make_move_iterator(buffer.staged.begin()),
+                    std::make_move_iterator(buffer.staged.end()));
+    buffer.staged.clear();
+  }
+}
+
+std::size_t EventLog::event_count() const {
+  std::scoped_lock lock(mutex_);
+  std::size_t n = drained_.size();
+  for (const auto& buffer : buffers_) n += buffer->staged.size();
+  return n;
+}
+
+std::string EventLog::to_ndjson() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<const Line*> lines;
+  lines.reserve(drained_.size());
+  for (const Line& l : drained_) lines.push_back(&l);
+  for (const auto& buffer : buffers_) {
+    for (const Line& l : buffer->staged) lines.push_back(&l);
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line* a, const Line* b) { return a->seq < b->seq; });
+  std::size_t total = 0;
+  for (const Line* l : lines) total += l->text.size() + 1;
+  std::string out;
+  out.reserve(total);
+  for (const Line* l : lines) {
+    out += l->text;
+    out += '\n';
+  }
+  return out;
+}
+
+bool EventLog::write_ndjson(const std::string& path) const {
+  const std::string text = to_ndjson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_line(util::LogLevel::kWarning,
+                   "obs: cannot open event log output file " + path);
+    return false;
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    util::log_line(util::LogLevel::kWarning,
+                   "obs: short write to event log output file " + path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pandarus::obs

@@ -1,0 +1,126 @@
+// Structured event log: the durable, per-entity record stream the paper
+// itself analyzes (its whole method runs off job/transfer records
+// harvested into OpenSearch and reassembled offline).
+//
+// Events are typed NDJSON lines — one JSON object per line with `ts`
+// (simulated milliseconds), `kind`, `entity`, and kind-specific fields —
+// built with the Event builder and appended to per-thread staging
+// buffers.  A full staging buffer drains under the log's mutex into one
+// central sink (many producers, one consumer at serialization time),
+// and the whole stream is bounded by `max_events`; overflow is counted,
+// never blocking.
+//
+// The disabled path follows the same cost discipline as ScopedSpan:
+// when no EventLog is installed, an emit site is one relaxed-ish atomic
+// load (EventLog::installed()) and nothing else — no clock reads, no
+// string building.  Guard every emit site with
+//
+//   if (obs::EventLog* log = obs::EventLog::installed()) {
+//     log->emit(obs::Event("transfer_submit", now, id)
+//                   .field("src", src)
+//                   .field("bytes", bytes));
+//   }
+//
+// Events carry simulated time only, so two runs of the same seeded
+// campaign produce byte-identical NDJSON whether or not a TraceRecorder
+// (wall-clock tracing) is also installed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pandarus::obs {
+
+/// Builder for one event line.  The constructor writes the common
+/// prefix (`ts`, `kind`, `entity`); field() appends one key/value pair
+/// per call.  Strings are JSON-escaped; doubles are rendered finite and
+/// round-trippable (like the metrics exporters).
+class Event {
+ public:
+  Event(std::string_view kind, std::int64_t ts, std::int64_t entity);
+  Event(std::string_view kind, std::int64_t ts, std::string_view entity);
+
+  Event&& field(std::string_view key, std::int64_t v) &&;
+  Event&& field(std::string_view key, std::uint64_t v) &&;
+  Event&& field(std::string_view key, std::int32_t v) &&;
+  Event&& field(std::string_view key, std::uint32_t v) &&;
+  Event&& field(std::string_view key, double v) &&;
+  Event&& field(std::string_view key, bool v) &&;
+  Event&& field(std::string_view key, std::string_view v) &&;
+  Event&& field(std::string_view key, const char* v) &&;
+
+ private:
+  friend class EventLog;
+  void append_key(std::string_view key);
+  std::string line_;  ///< open JSON object; emit() appends the '}'
+};
+
+/// Collects events from any thread; install at most one log at a time.
+/// The log must outlive every thread that observed it as installed, and
+/// to_ndjson()/write_ndjson() are only safe once emitters have
+/// quiesced (same contract as TraceRecorder).
+class EventLog {
+ public:
+  /// `max_events` bounds the whole stream across all threads; events
+  /// past the bound are counted as dropped (warned once).
+  explicit EventLog(std::size_t max_events = std::size_t{1} << 22);
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Makes this the process-wide log emit sites report to.
+  void install() noexcept;
+  /// Stops recording (no-op if another log was installed since).
+  void uninstall() noexcept;
+  [[nodiscard]] static EventLog* installed() noexcept {
+    return g_installed.load(std::memory_order_acquire);
+  }
+
+  /// Finalizes the event's line and appends it to this thread's staging
+  /// buffer (draining to the central sink when the buffer fills).
+  void emit(Event event);
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The full stream as NDJSON, lines ordered by emission sequence
+  /// (deterministic for single-threaded emitters), '\n' after each line.
+  [[nodiscard]] std::string to_ndjson() const;
+  /// Writes to_ndjson() to `path`; false (with a warning logged) on I/O
+  /// failure.
+  bool write_ndjson(const std::string& path) const;
+
+ private:
+  struct Line {
+    std::uint64_t seq = 0;
+    std::string text;
+  };
+  struct Buffer {
+    std::vector<Line> staged;
+  };
+  /// Staging buffers drain in batches of this many lines.
+  static constexpr std::size_t kDrainBatch = 1024;
+
+  Buffer& local_buffer();
+
+  static std::atomic<EventLog*> g_installed;
+
+  const std::uint64_t id_;  ///< process-unique, never reused
+  const std::size_t max_events_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> warned_dropped_{false};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<Line> drained_;  ///< MPSC sink fed by full staging buffers
+};
+
+}  // namespace pandarus::obs

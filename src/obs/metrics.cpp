@@ -60,6 +60,12 @@ std::uint64_t Counter::value() const noexcept {
   return total;
 }
 
+void Counter::reset() noexcept {
+  for (std::size_t i = 0; i < kShards; ++i) {
+    cells_[i].v.store(0, std::memory_order_relaxed);
+  }
+}
+
 std::size_t Counter::shard_index() noexcept {
   static std::atomic<std::size_t> next{0};
   static thread_local const std::size_t idx =
@@ -97,6 +103,14 @@ void Histogram::observe(double v) noexcept {
 
 double Histogram::sum() const noexcept {
   return sum_.load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
 }
 
 // --- Snapshot -------------------------------------------------------------
@@ -154,6 +168,13 @@ Histogram& Registry::histogram(std::string_view name,
       std::string(name), std::string(help), std::move(bounds))));
   histogram_index_.emplace(std::string(name), histograms_.size() - 1);
   return *histograms_.back();
+}
+
+void Registry::reset_for_test() {
+  std::scoped_lock lock(mutex_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& g : gauges_) g->reset();
+  for (const auto& h : histograms_) h->reset();
 }
 
 Snapshot Registry::snapshot() const {

@@ -52,6 +52,8 @@ class Counter {
   struct alignas(64) Cell {
     std::atomic<std::uint64_t> v{0};
   };
+  /// Zeroes every cell (Registry::reset_for_test only).
+  void reset() noexcept;
   /// Threads are spread over the cell bank round-robin at first use;
   /// the assignment is per-thread for the whole process, so two
   /// counters never force one thread onto different cache lines.
@@ -83,6 +85,7 @@ class Gauge {
   Gauge(std::string name, std::string help);
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
 
   std::string name_;
   std::string help_;
@@ -117,6 +120,7 @@ class Histogram {
   Histogram(std::string name, std::string help, std::vector<double> bounds);
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
+  void reset() noexcept;
 
   std::string name_;
   std::string help_;
@@ -178,6 +182,14 @@ class Registry {
                        std::string_view help = {});
 
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes the value of every registered metric while keeping the
+  /// registrations (names, help, bucket bounds) and metric addresses
+  /// stable, so cached references stay valid.  For tests that assert on
+  /// process-global counters without depending on what earlier tests
+  /// incremented; not safe concurrently with value()/snapshot() readers
+  /// that expect monotonicity.
+  void reset_for_test();
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,48 @@
+#include "obs/sampler.hpp"
+
+#include <utility>
+
+#include "obs/event_log.hpp"
+
+namespace pandarus::obs {
+
+void Sampler::add_column(std::string name, Probe probe) {
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+void Sampler::add_counter(const Counter& counter) {
+  add_column(counter.name(), [&counter] {
+    return static_cast<std::int64_t>(counter.value());
+  });
+}
+
+void Sampler::add_gauge(const Gauge& gauge) {
+  add_column(gauge.name(), [&gauge] { return gauge.value(); });
+}
+
+void Sampler::add_emitter(Emitter emitter) {
+  emitters_.push_back(std::move(emitter));
+}
+
+void Sampler::sample_at(std::int64_t ts) {
+  Row row;
+  row.ts = ts;
+  row.values.reserve(probes_.size());
+  for (const Probe& probe : probes_) row.values.push_back(probe());
+
+  if (EventLog* log = EventLog::installed()) {
+    Event event("sample", ts, static_cast<std::int64_t>(rows_.size()));
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      // field() is &&-qualified (chained-temporary builder); it appends
+      // in place, so the returned reference can be dropped here.
+      static_cast<void>(std::move(event).field(names_[i], row.values[i]));
+    }
+    log->emit(std::move(event));
+  }
+  rows_.push_back(std::move(row));
+
+  for (const Emitter& emitter : emitters_) emitter(ts);
+}
+
+}  // namespace pandarus::obs

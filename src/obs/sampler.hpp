@@ -1,0 +1,69 @@
+// Simulated-clock periodic sampler: snapshots a fixed set of gauges,
+// counters, and caller-supplied probes into a columnar time series,
+// emitting one flat "sample" event per tick through the installed
+// EventLog (plus any registered free-form emitters, e.g. per-link
+// samples).
+//
+// The sampler itself knows nothing about the simulation scheduler —
+// obs sits below sim in the module layering — so the owner registers
+// the periodic ticks (scenario::run_campaign schedules one sample_at()
+// call per interval, exactly like its pre-scheduled carousel waves).
+// Probes must be read-only and must not consume simulation RNG, so a
+// sampled run stays bit-identical to an unsampled one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pandarus::obs {
+
+class Sampler {
+ public:
+  /// Reads one column value at sample time.
+  using Probe = std::function<std::int64_t()>;
+  /// Free-form per-tick emitter (receives the sample's simulated time);
+  /// used for variable-arity outputs like per-link samples.
+  using Emitter = std::function<void(std::int64_t ts)>;
+
+  explicit Sampler(std::int64_t interval_ms) : interval_ms_(interval_ms) {}
+
+  void add_column(std::string name, Probe probe);
+  /// Column named after the counter, sampling its current total.
+  void add_counter(const Counter& counter);
+  /// Column named after the gauge, sampling its current value.
+  void add_gauge(const Gauge& gauge);
+  void add_emitter(Emitter emitter);
+
+  /// Evaluates every probe at simulated time `ts`, retains the row,
+  /// emits a "sample" event (entity = tick index, one field per column)
+  /// through the installed EventLog, then runs the free-form emitters.
+  void sample_at(std::int64_t ts);
+
+  [[nodiscard]] std::int64_t interval_ms() const noexcept {
+    return interval_ms_;
+  }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return names_;
+  }
+
+  struct Row {
+    std::int64_t ts = 0;
+    std::vector<std::int64_t> values;
+  };
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::int64_t interval_ms_;
+  std::vector<std::string> names_;
+  std::vector<Probe> probes_;
+  std::vector<Emitter> emitters_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pandarus::obs

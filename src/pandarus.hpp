@@ -20,9 +20,11 @@
 #include "analysis/bandwidth.hpp"
 #include "analysis/breakdown.hpp"
 #include "analysis/casestudy.hpp"
+#include "analysis/events_replay.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/imbalance.hpp"
 #include "analysis/report.hpp"
+#include "analysis/report_html.hpp"
 #include "analysis/summary.hpp"
 #include "analysis/threshold.hpp"
 #include "analysis/volume_growth.hpp"
@@ -47,7 +49,9 @@
 #include "grid/site.hpp"
 #include "grid/topology.hpp"
 #include "obs/env.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/campaign.hpp"
@@ -63,6 +67,7 @@
 #include "util/format.hpp"
 #include "util/histogram.hpp"
 #include "util/interner.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

@@ -8,9 +8,12 @@
 #include "dms/rule.hpp"
 #include "dms/selector.hpp"
 #include "dms/transfer.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/io.hpp"
 #include "telemetry/recorder.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -237,6 +240,72 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
     deletion.start(result.window_end);
   }
 
+  // Periodic time-series sampling, only when an event log is installed:
+  // probes are read-only and consume no simulation RNG, so a sampled run
+  // is bit-identical to an unsampled one.  Ticks are pre-scheduled like
+  // the carousel waves, so no event outlives this scope.
+  std::optional<obs::Sampler> sampler;
+  if (obs::EventLog::installed() != nullptr && config.sample_interval_ms > 0) {
+    sampler.emplace(config.sample_interval_ms);
+    sampler->add_column("jobs_queued", [&queues] {
+      return static_cast<std::int64_t>(queues.total_queued());
+    });
+    sampler->add_column("jobs_running", [&queues] {
+      return static_cast<std::int64_t>(queues.total_running());
+    });
+    sampler->add_column("transfers_in_flight", [&engine] {
+      return static_cast<std::int64_t>(engine.in_flight());
+    });
+    sampler->add_column("transfers_submitted", [&engine] {
+      return static_cast<std::int64_t>(engine.stats().submitted);
+    });
+    sampler->add_column("transfers_completed", [&engine] {
+      return static_cast<std::int64_t>(engine.stats().completed);
+    });
+    sampler->add_column("transfers_retried", [&engine] {
+      return static_cast<std::int64_t>(engine.stats().retries);
+    });
+    sampler->add_column("bytes_moved", [&engine] {
+      return static_cast<std::int64_t>(engine.stats().bytes_moved);
+    });
+    sampler->add_column("sim_events_processed", [&scheduler] {
+      return static_cast<std::int64_t>(scheduler.processed_count());
+    });
+    // Matcher funnel totals: flat during the campaign itself, live when
+    // a matcher shares the process (method-comparison sweeps).
+    sampler->add_counter(obs::Registry::global().counter(
+        "pandarus_match_candidates_scanned_total",
+        "Transfer candidates scanned by the matcher"));
+    sampler->add_counter(obs::Registry::global().counter(
+        "pandarus_match_jobs_matched_total", "Jobs matched to a transfer"));
+    // Per-link load: one link_sample event per currently active link.
+    sampler->add_emitter([&engine, &result](std::int64_t ts) {
+      obs::EventLog* log = obs::EventLog::installed();
+      if (log == nullptr) return;
+      for (const dms::TransferEngine::LinkProbe& p : engine.probe_links()) {
+        const double cap =
+            result.topology.link(p.key.src, p.key.dst).effective_capacity(ts);
+        log->emit(
+            obs::Event("link_sample", ts,
+                       static_cast<std::int64_t>(
+                           (static_cast<std::uint64_t>(p.key.src) << 32) |
+                           p.key.dst))
+                .field("src", p.key.src)
+                .field("dst", p.key.dst)
+                .field("active", p.active)
+                .field("queued", p.queued)
+                .field("bytes_in_flight", p.bytes_in_flight)
+                .field("rate_bps", p.rate_bps)
+                .field("utilization", cap > 0.0 ? p.rate_bps / cap : 0.0));
+      }
+    });
+    obs::Sampler& ticks = *sampler;
+    for (std::int64_t at = config.sample_interval_ms;
+         at <= result.window_end; at += config.sample_interval_ms) {
+      scheduler.schedule_at(at, [&ticks, at] { ticks.sample_at(at); });
+    }
+  }
+
   workload.start(arrivals_until);
   phase_span.reset();
 
@@ -265,6 +334,34 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   if (config.apply_corruption) {
     result.corruption = telemetry::inject_corruption(
         result.store, config.corruption, rng.fork(0xc0de));
+  }
+
+  // Harvest: with an event log installed, close the stream with the
+  // campaign header, the site table, and one *_record event per store
+  // row.  This runs after corruption injection, so a replay of the
+  // NDJSON rebuilds exactly the store the analyses see.
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(
+        obs::Event("campaign_meta", scheduler.now(), std::int64_t{0})
+            .field("seed", config.seed)
+            .field("days", config.days)
+            .field("window_begin", result.window_begin)
+            .field("window_end", result.window_end)
+            .field("sites",
+                   static_cast<std::uint64_t>(result.topology.site_count()))
+            .field("sample_interval_ms", config.sample_interval_ms)
+            .field("samples",
+                   sampler ? static_cast<std::int64_t>(sampler->rows().size())
+                           : std::int64_t{0}));
+    for (const grid::Site& s : result.topology.sites()) {
+      log->emit(obs::Event("site_record", scheduler.now(),
+                           static_cast<std::int64_t>(s.id))
+                    .field("name", s.name)
+                    .field("country", s.country)
+                    .field("tier", static_cast<std::int32_t>(s.tier))
+                    .field("cpu_slots", s.cpu_slots));
+    }
+    telemetry::emit_store_events(result.store, scheduler.now());
   }
 
   result.panda = server.stats();

@@ -64,6 +64,11 @@ struct ScenarioConfig {
   double eviction_sweeps_per_day = 8.0;
   double eviction_probability = 0.6;
 
+  /// Simulated-clock period of the obs::Sampler time series (queue
+  /// depths, in-flight transfers, per-link load).  Only consulted when
+  /// an obs::EventLog is installed; <= 0 disables sampling entirely.
+  std::int64_t sample_interval_ms = 30 * 60 * 1000;
+
   /// Presets -----------------------------------------------------------
   /// Fast, small: unit/integration tests (half a day, small grid).
   [[nodiscard]] static ScenarioConfig small();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/event_log.hpp"
+
 namespace pandarus::sim {
 
 struct Scheduler::EventHandle::State {
@@ -78,10 +80,21 @@ void Scheduler::run() {
 }
 
 void Scheduler::run_until(SimTime t) {
+  const std::uint64_t fired_before = processed_;
   while (!queue_.empty() && queue_.top().time <= t) {
     if (!step()) break;
   }
   now_ = std::max(now_, t);
+  // One epoch per drained prefix: the campaign's day-segmented drain
+  // loop shows up as a sched_epoch series in the event stream.
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("sched_epoch", now_,
+                         static_cast<std::int64_t>(epoch_))
+                  .field("fired", processed_ - fired_before)
+                  .field("fired_total", processed_)
+                  .field("heap", static_cast<std::uint64_t>(queue_.size())));
+  }
+  ++epoch_;
 }
 
 }  // namespace pandarus::sim

@@ -90,6 +90,7 @@ class Scheduler {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t epoch_ = 0;  ///< run_until calls completed (event log)
   std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
   // Process-wide simulator metrics; the heap gauge is last-writer-wins
   // when several schedulers coexist (e.g. benchmark iterations).

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "obs/event_log.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 
@@ -175,6 +176,56 @@ std::size_t read_transfers_csv(std::istream& is, MetadataStore& store) {
     store.record_transfer(std::move(t));
   }
   return skipped;
+}
+
+std::size_t emit_store_events(const MetadataStore& store, util::SimTime ts) {
+  obs::EventLog* log = obs::EventLog::installed();
+  if (log == nullptr) return 0;
+  std::size_t emitted = 0;
+  for (const JobRecord& j : store.jobs()) {
+    log->emit(obs::Event("job_record", ts, j.pandaid)
+                  .field("task", j.jeditaskid)
+                  .field("site", j.computing_site)
+                  .field("created", j.creation_time)
+                  .field("started", j.start_time)
+                  .field("ended", j.end_time)
+                  .field("in_bytes", j.ninputfilebytes)
+                  .field("out_bytes", j.noutputfilebytes)
+                  .field("failed", j.failed)
+                  .field("error", j.error_code)
+                  .field("direct_io", j.direct_io)
+                  .field("task_status", static_cast<std::int32_t>(j.task_status)));
+    ++emitted;
+  }
+  for (const FileRecord& f : store.files()) {
+    log->emit(obs::Event("file_record", ts, f.pandaid)
+                  .field("task", f.jeditaskid)
+                  .field("lfn", f.lfn)
+                  .field("dataset", f.dataset)
+                  .field("proddblock", f.proddblock)
+                  .field("scope", f.scope)
+                  .field("size", f.file_size)
+                  .field("dir", static_cast<std::int32_t>(f.direction)));
+    ++emitted;
+  }
+  for (const TransferRecord& t : store.transfers()) {
+    log->emit(obs::Event("transfer_record", ts,
+                         static_cast<std::int64_t>(t.transfer_id))
+                  .field("task", t.jeditaskid)
+                  .field("lfn", t.lfn)
+                  .field("dataset", t.dataset)
+                  .field("proddblock", t.proddblock)
+                  .field("scope", t.scope)
+                  .field("size", t.file_size)
+                  .field("src", t.source_site)
+                  .field("dst", t.destination_site)
+                  .field("activity", static_cast<std::int32_t>(t.activity))
+                  .field("started", t.started_at)
+                  .field("finished", t.finished_at)
+                  .field("success", t.success));
+    ++emitted;
+  }
+  return emitted;
 }
 
 }  // namespace pandarus::telemetry

@@ -1,13 +1,23 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace pandarus::util {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarning};
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("PANDARUS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  return parse_log_level(env, LogLevel::kWarning);
+}
+
+// Dynamic initialization runs before main() (single-threaded), so the
+// environment override is in place before any log call.
+std::atomic<LogLevel> g_level{level_from_env()};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -43,6 +53,20 @@ void set_log_level(LogLevel level) noexcept {
 
 LogLevel log_level() noexcept {
   return g_level.load(std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name, LogLevel fallback) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return fallback;
 }
 
 void log_line(LogLevel level, const std::string& message) {

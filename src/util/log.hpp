@@ -2,10 +2,16 @@
 // kWarning to keep table output clean while examples run at kInfo.
 // Each line is timestamped and emitted with a single fwrite, so
 // concurrent workers never interleave partial lines.
+//
+// The initial level comes from PANDARUS_LOG_LEVEL when set (one of
+// error/warn/info/debug/off, case-insensitive; unrecognized values are
+// ignored) and defaults to kWarning otherwise.  Explicit
+// set_log_level() calls still override the environment.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace pandarus::util {
 
@@ -13,6 +19,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses a PANDARUS_LOG_LEVEL-style name ("error", "warn"/"warning",
+/// "info", "debug", "off"; case-insensitive); `fallback` on anything
+/// else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name,
+                                       LogLevel fallback) noexcept;
 
 /// Writes one line to stderr if `level` is at or above the global level.
 void log_line(LogLevel level, const std::string& message);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <deque>
 
+#include "obs/event_log.hpp"
+
 namespace pandarus::wms {
 namespace {
 
@@ -11,6 +13,19 @@ namespace {
 /// sequential and stay far below 2^44 even in the largest campaigns.
 std::uint64_t staging_key(dms::FileId file, grid::SiteId site) {
   return (file << 20) | (site & 0xFFFFFu);
+}
+
+/// One job_state event per lifecycle transition (the PanDA status-change
+/// stream the paper's job records are distilled from).
+void emit_job_state(const Job& job, const char* state, util::SimTime ts) {
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("job_state", ts,
+                         static_cast<std::int64_t>(job.pandaid))
+                  .field("state", state)
+                  .field("task", job.jeditaskid)
+                  .field("site", job.computing_site)
+                  .field("attempt", job.attempt));
+  }
 }
 
 }  // namespace
@@ -73,11 +88,13 @@ void PandaServer::submit_job(Job job) {
   rt->job.computing_site = brokerage_.choose_site(rt->job, queues_, rng_);
   JobRuntime& ref = *rt;
   jobs_.emplace(ref.job.pandaid, std::move(rt));
+  emit_job_state(ref.job, "submitted", scheduler_.now());
   begin_staging(ref);
 }
 
 void PandaServer::begin_staging(JobRuntime& rt) {
   rt.job.status = JobStatus::kStaging;
+  emit_job_state(rt.job, "staging", scheduler_.now());
   const grid::SiteId site = rt.job.computing_site;
 
   std::vector<dms::FileId> missing;
@@ -262,6 +279,15 @@ void PandaServer::on_stage_done(JobId job, dms::FileId /*file*/,
 void PandaServer::proceed_to_queue(JobRuntime& rt) {
   rt.queued_or_later = true;
   rt.job.status = JobStatus::kQueued;
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("job_state", scheduler_.now(),
+                         static_cast<std::int64_t>(rt.job.pandaid))
+                  .field("state", "queued")
+                  .field("task", rt.job.jeditaskid)
+                  .field("site", rt.job.computing_site)
+                  .field("attempt", rt.job.attempt)
+                  .field("watchdog_release", rt.released_by_watchdog));
+  }
   const JobId id = rt.job.pandaid;
   queues_.request_slot(
       rt.job.computing_site,
@@ -276,6 +302,7 @@ void PandaServer::proceed_to_queue(JobRuntime& rt) {
 void PandaServer::start_execution(JobRuntime& rt) {
   rt.job.status = JobStatus::kRunning;
   rt.job.start_time = scheduler_.now();
+  emit_job_state(rt.job, "running", scheduler_.now());
 
   // Direct IO: open the streams now; they run concurrently with the
   // payload (Table 1's "Analysis Download Direct IO" activity).  The
@@ -446,6 +473,15 @@ void PandaServer::finalize_job(JobRuntime& rt, bool failed,
   rt.job.end_time = scheduler_.now();
   rt.job.status = failed ? JobStatus::kFailed : JobStatus::kFinished;
   rt.job.error_code = failed ? error_code : errors::kNone;
+  if (obs::EventLog* log = obs::EventLog::installed()) {
+    log->emit(obs::Event("job_state", scheduler_.now(),
+                         static_cast<std::int64_t>(rt.job.pandaid))
+                  .field("state", failed ? "failed" : "finished")
+                  .field("task", rt.job.jeditaskid)
+                  .field("site", rt.job.computing_site)
+                  .field("attempt", rt.job.attempt)
+                  .field("error", rt.job.error_code));
+  }
   queues_.release_slot(rt.job.computing_site);
 
   if (failed) {

@@ -59,6 +59,18 @@ std::size_t SiteQueues::running(grid::SiteId site) const {
   return sites_.at(site).busy;
 }
 
+std::size_t SiteQueues::total_queued() const {
+  std::size_t total = 0;
+  for (const SiteState& s : sites_) total += s.waiting.size();
+  return total;
+}
+
+std::size_t SiteQueues::total_running() const {
+  std::size_t total = 0;
+  for (const SiteState& s : sites_) total += s.busy;
+  return total;
+}
+
 double SiteQueues::estimated_wait_ms(grid::SiteId site) const {
   const SiteState& state = sites_.at(site);
   if (state.slots == 0) return 1e15;

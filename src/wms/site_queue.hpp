@@ -41,6 +41,10 @@ class SiteQueues {
   /// capacity plus the pilot delay.  Used by load-aware brokerage.
   [[nodiscard]] double estimated_wait_ms(grid::SiteId site) const;
 
+  /// Grid-wide totals, for the periodic sampler's queue-depth columns.
+  [[nodiscard]] std::size_t total_queued() const;
+  [[nodiscard]] std::size_t total_running() const;
+
  private:
   struct Waiter {
     std::int32_t priority = 0;

@@ -1,8 +1,9 @@
 // Tests for the obs layer: sharded counter aggregation under thread-pool
 // contention, histogram bucket edges, exporter well-formedness (parsed
-// back with a minimal JSON parser), trace-event recording, and the
-// determinism guard (instrumented and uninstrumented campaigns must
-// produce identical matched-job counts).
+// back with a minimal JSON parser), trace-event recording, registry
+// reset, env-hook idempotency, and the determinism guard (instrumented
+// and uninstrumented campaigns must produce identical matched-job
+// counts).
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -10,6 +11,8 @@
 #include <vector>
 
 #include "core/relaxed.hpp"
+#include "json_validator.hpp"
+#include "obs/env.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
@@ -18,123 +21,8 @@
 namespace {
 
 using namespace pandarus;
-
-// --- minimal JSON parser (validation only) --------------------------------
-// Recursive descent over the full grammar; returns true iff the input is
-// one well-formed JSON value with nothing but whitespace after it.
-
-class JsonValidator {
- public:
-  explicit JsonValidator(std::string_view text) : text_(text) {}
-
-  bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') return ++pos_, true;
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == '}') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') return ++pos_, true;
-    for (;;) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (peek() == ']') return ++pos_, true;
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-      }
-      ++pos_;
-    }
-    if (pos_ >= text_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-            text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  [[nodiscard]] char peek() const {
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// Fully qualified: `testing` alone would be ambiguous with gtest's.
+using JsonValidator = pandarus::testing::JsonValidator;
 
 // --- registry -------------------------------------------------------------
 
@@ -306,6 +194,43 @@ TEST(ObsTrace, NoRecorderMeansNoRecording) {
   }
   obs::TraceRecorder recorder;
   EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+// --- registry reset ---------------------------------------------------------
+
+TEST(ObsRegistry, ResetForTestZeroesValuesButKeepsRegistrations) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("r_total", "kept help");
+  obs::Gauge& g = registry.gauge("r_depth");
+  obs::Histogram& h = registry.histogram("r_hist", {1.0, 2.0});
+  c.inc(41);
+  g.set(-3);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  registry.reset_for_test();
+
+  // Values are zero, but the addresses and metadata survive, so code
+  // holding references keeps working.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(h.bucket(i), 0u);
+  EXPECT_EQ(&registry.counter("r_total"), &c);
+  EXPECT_EQ(registry.counter("r_total").help(), "kept help");
+  c.inc(5);
+  EXPECT_EQ(registry.snapshot().counter_value("r_total"), 5u);
+}
+
+// --- env hooks --------------------------------------------------------------
+
+TEST(ObsEnv, InstallEnvHooksIsIdempotent) {
+  // Without PANDARUS_METRICS/TRACE/EVENTS set this is a no-op; the
+  // contract under test is that repeated calls are safe and agree.
+  const bool first = obs::install_env_hooks();
+  const bool second = obs::install_env_hooks();
+  EXPECT_EQ(first, second);
 }
 
 // --- determinism guard ------------------------------------------------------

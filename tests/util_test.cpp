@@ -8,6 +8,8 @@
 #include "util/csv.hpp"
 #include "util/format.hpp"
 #include "util/histogram.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -315,6 +317,69 @@ TEST(Csv, ParsesEmptyFields) {
   ASSERT_EQ(fields.size(), 4u);
   EXPECT_EQ(fields[1], "");
   EXPECT_EQ(fields[3], "");
+}
+
+TEST(Json, ParsesFlatEventObject) {
+  const auto v = json::parse(
+      R"({"ts":1800000,"kind":"sample","entity":0,"rate":2.5,)"
+      R"("ok":true,"name":"a\"b\n","none":null})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, json::Value::Kind::kObject);
+  EXPECT_EQ(v->get_int("ts"), 1800000);
+  EXPECT_EQ(v->get_string("kind"), "sample");
+  EXPECT_DOUBLE_EQ(v->get_double("rate"), 2.5);
+  EXPECT_TRUE(v->get_bool("ok"));
+  EXPECT_EQ(v->get_string("name"), "a\"b\n");
+  ASSERT_NE(v->find("none"), nullptr);
+  EXPECT_EQ(v->find("none")->kind, json::Value::Kind::kNull);
+  EXPECT_EQ(v->get_int("missing", -7), -7);
+}
+
+TEST(Json, Int64RoundTripsLosslessly) {
+  // 2^60 is not representable in a double; the parser must keep the
+  // integer path (is_int) for SimTime-scale values.
+  const auto v = json::parse("{\"big\":1152921504606846976,\"neg\":-5}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_NE(v->find("big"), nullptr);
+  EXPECT_TRUE(v->find("big")->is_int);
+  EXPECT_EQ(v->get_int("big"), std::int64_t{1} << 60);
+  EXPECT_EQ(v->get_int("neg"), -5);
+  // Doubles stay doubles.
+  const auto d = json::parse("3.25e2");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->is_int);
+  EXPECT_DOUBLE_EQ(d->as_double(), 325.0);
+}
+
+TEST(Json, ArraysAndNestingAndSourceOrder) {
+  const auto v = json::parse(R"({"b":[1,2,3],"a":{"x":"y"}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->obj.size(), 2u);
+  EXPECT_EQ(v->obj[0].first, "b");  // source order preserved
+  EXPECT_EQ(v->obj[1].first, "a");
+  ASSERT_EQ(v->obj[0].second.arr.size(), 3u);
+  EXPECT_EQ(v->obj[0].second.arr[2].as_int(), 3);
+  EXPECT_EQ(v->obj[1].second.get_string("x"), "y");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(json::parse("[1,2").has_value());
+}
+
+TEST(Log, ParseLogLevelNamesAndFallback) {
+  EXPECT_EQ(parse_log_level("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("warning", LogLevel::kInfo), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("error", LogLevel::kInfo), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kWarning),
+            LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("", LogLevel::kInfo), LogLevel::kInfo);
 }
 
 }  // namespace
