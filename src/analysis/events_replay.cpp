@@ -63,6 +63,7 @@ void replay_transfer_record(const util::json::Value& v, std::int64_t entity,
   t.started_at = v.get_int("started");
   t.finished_at = v.get_int("finished");
   t.success = v.get_bool("success");
+  t.error = static_cast<dms::TransferError>(v.get_int("terr"));
   store.record_transfer(std::move(t));
 }
 
@@ -103,6 +104,20 @@ ReplayResult replay_events(std::istream& in) {
       replay_file_record(v, entity, result.store);
     } else if (kind == "transfer_record") {
       replay_transfer_record(v, entity, result.store);
+      const std::int32_t terr =
+          static_cast<std::int32_t>(v.get_int("terr"));
+      if (terr != 0) ++result.failure_causes[terr];
+    } else if (kind == "fault_window") {
+      ReplayResult::FaultWindowEvent fw;
+      fw.ts = ts;
+      fw.fault_kind = std::string(v.get_string("fault"));
+      fw.begin = v.get_string("phase") == "begin";
+      fw.site = site_of(v, "site");
+      fw.src = site_of(v, "src");
+      fw.dst = site_of(v, "dst");
+      fw.window_begin = v.get_int("begin");
+      fw.window_end = v.get_int("end");
+      result.fault_windows.push_back(std::move(fw));
     } else if (kind == "site_record") {
       const auto id = static_cast<grid::SiteId>(entity);
       result.site_names[id] = std::string(v.get_string("name"));

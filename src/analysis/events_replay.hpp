@@ -64,6 +64,23 @@ struct ReplayResult {
   };
   std::vector<LinkSample> link_samples;
 
+  /// Fault-window transitions (kind == "fault_window"), in stream order.
+  struct FaultWindowEvent {
+    std::int64_t ts = 0;
+    std::string fault_kind;  ///< site_outage, link_blackout, ...
+    bool begin = true;
+    grid::SiteId site = grid::kUnknownSite;
+    grid::SiteId src = grid::kUnknownSite;
+    grid::SiteId dst = grid::kUnknownSite;
+    std::int64_t window_begin = 0;
+    std::int64_t window_end = 0;
+  };
+  std::vector<FaultWindowEvent> fault_windows;
+
+  /// Terminal-failure attribution from transfer_record events, indexed
+  /// by dms::TransferError value (aborted, stalled_terminal, ...).
+  std::map<std::int32_t, std::size_t> failure_causes;
+
   /// Every event kind seen, with its line count (sorted by kind).
   std::map<std::string, std::size_t> kind_counts;
   std::size_t lines_parsed = 0;

@@ -15,6 +15,7 @@
 #include "analysis/summary.hpp"
 #include "core/exact.hpp"
 #include "core/relaxed.hpp"
+#include "dms/did.hpp"
 #include "util/format.hpp"
 
 namespace pandarus::analysis {
@@ -253,6 +254,59 @@ void write_casestudy_section(std::ostream& os, const ReplayResult& replay,
   }
 }
 
+void write_fault_section(std::ostream& os, const ReplayResult& replay) {
+  if (replay.fault_windows.empty() && replay.failure_causes.empty()) return;
+  os << "<h2>Infrastructure faults</h2>";
+
+  if (!replay.failure_causes.empty()) {
+    os << "<h3>Terminal transfer failures by cause</h3>"
+       << "<table><tr><th>cause</th><th>transfers</th></tr>";
+    for (const auto& [code, n] : replay.failure_causes) {
+      const auto err = static_cast<dms::TransferError>(code);
+      os << "<tr><td>" << esc(dms::transfer_error_name(err)) << "</td><td>"
+         << n << "</td></tr>";
+    }
+    os << "</table>";
+  }
+
+  if (!replay.fault_windows.empty()) {
+    // One row per window (the begin transition carries the full span);
+    // an inline bar places it within the campaign window.
+    os << "<h3>Fault-window timeline</h3>"
+       << "<table><tr><th>fault</th><th>target</th><th>window</th>"
+       << "<th>timeline</th></tr>";
+    const double span = replay.window_end > replay.window_begin
+                            ? static_cast<double>(replay.window_end -
+                                                  replay.window_begin)
+                            : 1.0;
+    for (const ReplayResult::FaultWindowEvent& fw : replay.fault_windows) {
+      if (!fw.begin) continue;
+      std::string target;
+      if (fw.site != grid::kUnknownSite) {
+        target = replay.site_name(fw.site);
+      } else if (fw.src != grid::kUnknownSite) {
+        target = replay.site_name(fw.src) + " → " + replay.site_name(fw.dst);
+      } else {
+        target = "grid-wide";
+      }
+      const double x0 =
+          std::clamp(static_cast<double>(fw.window_begin) / span, 0.0, 1.0);
+      const double x1 =
+          std::clamp(static_cast<double>(fw.window_end) / span, x0, 1.0);
+      os << "<tr><td>" << esc(fw.fault_kind) << "</td><td>" << esc(target)
+         << "</td><td>[" << fw.window_begin << ", " << fw.window_end
+         << ") ms</td><td><svg width=\"260\" height=\"12\">"
+         << "<rect x=\"0\" y=\"4\" width=\"260\" height=\"4\" "
+            "fill=\"#eee\"/>"
+         << "<rect x=\"" << util::format_fixed(x0 * 260.0, 1)
+         << "\" y=\"2\" width=\""
+         << util::format_fixed(std::max((x1 - x0) * 260.0, 1.5), 1)
+         << "\" height=\"8\" fill=\"#c33\"/></svg></td></tr>";
+    }
+    os << "</table>";
+  }
+}
+
 void write_sampler_section(std::ostream& os, const ReplayResult& replay) {
   if (replay.samples.empty()) return;
   os << "<h2>Sampled time series (" << replay.samples.size() << " ticks, "
@@ -349,6 +403,7 @@ void write_html_report(std::ostream& os, const ReplayResult& replay,
     os << "<p>stream carried no harvest records; matching skipped</p>";
   }
 
+  write_fault_section(os, replay);
   write_sampler_section(os, replay);
   write_heatmap_section(os, replay);
 

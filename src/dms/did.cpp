@@ -15,6 +15,18 @@ const char* activity_name(Activity activity) noexcept {
   return "Unknown";
 }
 
+const char* transfer_error_name(TransferError error) noexcept {
+  switch (error) {
+    case TransferError::kNone: return "none";
+    case TransferError::kAborted: return "aborted";
+    case TransferError::kStalledTerminal: return "stalled_terminal";
+    case TransferError::kRegistrationFailed: return "registration_failed";
+    case TransferError::kFaultWindow: return "fault_window";
+    case TransferError::kBreakerRejected: return "breaker_rejected";
+  }
+  return "?";
+}
+
 bool is_download(Activity activity) noexcept {
   switch (activity) {
     case Activity::kAnalysisDownload:

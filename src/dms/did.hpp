@@ -38,6 +38,22 @@ inline constexpr std::size_t kActivityCount = 6;
 [[nodiscard]] bool is_download(Activity activity) noexcept;
 [[nodiscard]] bool is_upload(Activity activity) noexcept;
 
+/// Terminal-outcome attribution for transfers: why a transfer failed,
+/// or why it completed without a usable replica.  Recorded on the
+/// TransferOutcome/TransferRecord so reports can break terminal
+/// failures down by cause.
+enum class TransferError : std::uint8_t {
+  kNone = 0,                ///< success with the replica registered
+  kAborted = 1,             ///< per-attempt abort exhausted max_attempts
+  kStalledTerminal = 2,     ///< final failed attempt was a stalled one
+  kRegistrationFailed = 3,  ///< bytes moved, replica never registered
+  kFaultWindow = 4,         ///< failed under an active fault window
+  kBreakerRejected = 5,     ///< failed while its link's breaker was open
+};
+inline constexpr std::size_t kTransferErrorCount = 6;
+
+[[nodiscard]] const char* transfer_error_name(TransferError error) noexcept;
+
 struct FileInfo {
   FileId id = 0;
   DatasetId dataset = kNoDataset;

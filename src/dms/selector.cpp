@@ -3,7 +3,8 @@
 namespace pandarus::dms {
 
 RseId ReplicaSelector::select_source(FileId file, grid::SiteId dst,
-                                     util::SimTime t) const {
+                                     util::SimTime t,
+                                     grid::SiteId exclude_site) const {
   RseId local_disk = kNoRse;
   RseId local_tape = kNoRse;
   RseId best_remote_disk = kNoRse;
@@ -12,6 +13,7 @@ RseId ReplicaSelector::select_source(FileId file, grid::SiteId dst,
 
   for (RseId rse_id : replicas_->replicas(file)) {
     const Rse& rse = rses_->rse(rse_id);
+    if (rse.site == exclude_site) continue;
     if (rse.site == dst) {
       if (rse.kind == RseKind::kDisk) {
         local_disk = rse_id;

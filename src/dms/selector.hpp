@@ -23,7 +23,16 @@ class ReplicaSelector {
   ///  4. a remote TAPE replica as a last resort.
   /// Returns kNoRse when the file has no replica anywhere.
   [[nodiscard]] RseId select_source(FileId file, grid::SiteId dst,
-                                    util::SimTime t) const;
+                                    util::SimTime t) const {
+    return select_source(file, dst, t, grid::kUnknownSite);
+  }
+
+  /// Same, ignoring replicas hosted at `exclude_site` — the transfer
+  /// engine's alternate-source retry, which must route *around* a
+  /// faulted or breaker-open source.
+  [[nodiscard]] RseId select_source(FileId file, grid::SiteId dst,
+                                    util::SimTime t,
+                                    grid::SiteId exclude_site) const;
 
  private:
   const grid::Topology* topology_;

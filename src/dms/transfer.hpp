@@ -24,8 +24,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "dms/catalog.hpp"
 #include "dms/did.hpp"
+#include "dms/selector.hpp"
+#include "fault/injector.hpp"
 #include "grid/topology.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
@@ -61,6 +65,9 @@ struct TransferOutcome {
   bool success = false;
   bool replica_registered = false;
   std::uint32_t attempts = 1;
+  /// Terminal-outcome attribution: kNone on clean success, otherwise
+  /// why the transfer failed (or completed without a replica).
+  TransferError error = TransferError::kNone;
 
   [[nodiscard]] double throughput_bps() const noexcept {
     const double secs = util::to_seconds(finished_at - started_at);
@@ -84,6 +91,30 @@ class TransferEngine {
     double per_stream_cap_bps = 700e6; ///< single-stream protocol limit
     double registration_failure_prob = 0.008;
     util::SimDuration rerate_interval = util::minutes(5);
+
+    /// --- self-healing (all default-off: the legacy instant same-queue
+    /// requeue and its RNG stream are preserved bit-for-bit) ----------
+    /// Base delay before a failed attempt re-enters the queue; doubles
+    /// per attempt up to retry_backoff_max.  0 keeps the legacy
+    /// synchronous requeue.
+    util::SimDuration retry_backoff_base = 0;
+    util::SimDuration retry_backoff_max = util::minutes(30);
+    /// +/- fraction of deterministic per-(transfer, attempt) jitter on
+    /// the backoff delay (hash-derived, never drawn from the RNG stream).
+    double retry_jitter = 0.25;
+    /// Per-link circuit breaker: after breaker_threshold consecutive
+    /// failed attempts the link stops admitting work for
+    /// breaker_cooldown, then lets a single half-open probe through.
+    bool breaker_enabled = false;
+    std::uint32_t breaker_threshold = 4;
+    util::SimDuration breaker_cooldown = util::minutes(10);
+    /// Re-resolve the source replica via ReplicaSelector when the
+    /// current source link is faulted or its breaker is open (requires
+    /// enable_alternate_sources()).
+    bool alternate_source_retry = false;
+    /// Re-check cadence for a held-back queue when no wake time (window
+    /// end, breaker cooldown) is known.
+    util::SimDuration blocked_poll = util::minutes(2);
   };
 
   struct Stats {
@@ -94,6 +125,9 @@ class TransferEngine {
     std::uint64_t registration_failures = 0;
     std::uint64_t quota_rejections = 0;
     std::uint64_t bytes_moved = 0;
+    std::uint64_t breaker_opens = 0;      ///< closed/half-open -> open
+    std::uint64_t alt_source_retries = 0; ///< attempts moved to a new source
+    std::uint64_t backoff_delays = 0;     ///< retries held back by backoff
   };
 
   TransferEngine(sim::Scheduler& scheduler, const grid::Topology& topology,
@@ -116,6 +150,21 @@ class TransferEngine {
     sink_ = std::move(sink);
   }
 
+  /// Wires the fault injector in: admission consults its link/site
+  /// state, brownouts scale link capacity, storage outages fail replica
+  /// registration, and the engine subscribes to transitions so active
+  /// attempts on a blacked-out link abort at window begin.
+  void set_injector(fault::Injector& injector);
+
+  /// Enables alternate-source resolution (Params::alternate_source_retry)
+  /// by giving the engine a ReplicaSelector over `rses`.
+  void enable_alternate_sources(const RseRegistry& rses);
+
+  /// Links whose circuit breaker is currently open or probing.
+  [[nodiscard]] std::size_t open_breakers() const noexcept {
+    return open_breakers_;
+  }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
 
@@ -128,8 +177,8 @@ class TransferEngine {
     double rate_bps = 0.0;             ///< summed assigned rates
   };
   /// Links with any current activity, sorted by (src, dst) so sampled
-  /// output is deterministic.  Read-only; byte progress is as of the
-  /// last rate re-evaluation.
+  /// output is deterministic.  Read-only; active-transfer byte progress
+  /// is advanced to the probe instant.
   [[nodiscard]] std::vector<LinkProbe> probe_links() const;
 
  private:
@@ -143,6 +192,24 @@ class TransferEngine {
   void complete(LinkState& ls, Active* active);
   void finalize(std::unique_ptr<Active> active, bool success);
   void schedule_rerate(LinkState& ls);
+  /// Whether the link may start another transfer right now (fault
+  /// windows, breaker state); advances an expired open breaker to
+  /// half-open as a side effect.
+  bool admits(LinkState& ls);
+  /// A queue held back by a fault window or breaker: reroute what can
+  /// move to an alternate source, arm a wake-up for the rest.
+  void handle_blocked(LinkState& ls);
+  /// Moves a backoff-parked transfer back into the pending queue.
+  void release_delayed(LinkState& ls, Active* raw);
+  /// Exponential backoff with deterministic per-(id, attempt) jitter;
+  /// 0 when backoff is disabled.
+  [[nodiscard]] util::SimDuration backoff_delay(std::uint64_t id,
+                                                std::uint32_t attempt) const;
+  void breaker_on_result(LinkState& ls, bool attempt_failed);
+  /// Re-resolves the source replica away from the current one; on
+  /// success rewrites the request's src and returns the new link.
+  LinkState* reroute_target(Active& active);
+  void on_fault(const fault::FaultWindow& window, bool begin);
 
   sim::Scheduler& scheduler_;
   const grid::Topology& topology_;
@@ -152,7 +219,11 @@ class TransferEngine {
   Stats stats_;
   std::uint64_t next_id_ = 1;
   std::size_t in_flight_ = 0;
+  std::size_t open_breakers_ = 0;
   std::function<void(const TransferOutcome&)> sink_;
+  const fault::Injector* injector_ = nullptr;
+  const RseRegistry* rses_ = nullptr;
+  std::optional<ReplicaSelector> selector_;
   std::unordered_map<grid::LinkKey, std::unique_ptr<LinkState>,
                      grid::LinkKeyHash>
       links_;

@@ -40,6 +40,13 @@ struct NetworkLink {
   [[nodiscard]] double effective_capacity(util::SimTime t) const noexcept {
     return capacity_bps * load.available_fraction(t);
   }
+
+  /// Same, with an externally imposed multiplier (fault-window
+  /// brownouts) composed on top of the background-load model.
+  [[nodiscard]] double effective_capacity(util::SimTime t,
+                                          double multiplier) const noexcept {
+    return effective_capacity(t) * multiplier;
+  }
 };
 
 }  // namespace pandarus::grid

@@ -43,6 +43,8 @@
 #include "dms/rule.hpp"
 #include "dms/selector.hpp"
 #include "dms/transfer.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "grid/builder.hpp"
 #include "grid/link.hpp"
 #include "grid/load_model.hpp"

@@ -8,6 +8,8 @@
 #include "dms/rule.hpp"
 #include "dms/selector.hpp"
 #include "dms/transfer.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -118,6 +120,31 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   result.window_end = util::days(config.days);
   const util::SimTime arrivals_until =
       result.window_end - util::days(config.arrival_tail_days);
+
+  // --- infrastructure faults --------------------------------------------
+  // Alternate-source resolution is always available; whether retries use
+  // it is governed by config.transfer.alternate_source_retry.
+  engine.enable_alternate_sources(result.rses);
+  fault::Plan fault_plan;
+  for (const fault::FaultWindow& w : config.fault_windows) {
+    fault_plan.add(w);
+  }
+  if (config.faults.intensity > 0.0) {
+    const fault::Plan sampled = fault::Plan::sample(
+        config.faults, result.topology, result.window_end,
+        util::hash_mix(config.seed, 0xfa177));
+    for (const fault::FaultWindow& w : sampled.windows) {
+      fault_plan.add(w);
+    }
+  }
+  std::optional<fault::Injector> injector;
+  if (!fault_plan.empty()) {
+    injector.emplace(scheduler);
+    engine.set_injector(*injector);
+    brokerage.set_injector(*injector);
+    server.set_injector(*injector);
+    injector->arm(fault_plan);
+  }
 
   // Replication rules over the most popular input datasets.
   const auto& datasets = workload.input_datasets();
@@ -271,6 +298,13 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
     sampler->add_column("sim_events_processed", [&scheduler] {
       return static_cast<std::int64_t>(scheduler.processed_count());
     });
+    // Fault/recovery health: live fault windows and open breakers show
+    // up alongside queue depth in the sampled series.
+    sampler->add_gauge(obs::Registry::global().gauge(
+        "pandarus_fault_windows_active", "Fault windows currently active"));
+    sampler->add_gauge(obs::Registry::global().gauge(
+        "pandarus_dms_breakers_open",
+        "Links with an open (or probing) circuit breaker"));
     // Matcher funnel totals: flat during the campaign itself, live when
     // a matcher shares the process (method-comparison sweeps).
     sampler->add_counter(obs::Registry::global().counter(
@@ -325,7 +359,12 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   }
   phase_span.emplace("campaign/post_process", "scenario");
 
-  if (!scheduler.empty()) {
+  result.drained = scheduler.empty();
+  result.transfers_in_flight = engine.in_flight();
+  if (injector.has_value()) {
+    result.fault_windows = injector->stats().begun;
+  }
+  if (!result.drained) {
     util::log_warning() << "campaign drained incompletely: events remain "
                            "after the grace window";
   }

@@ -32,6 +32,13 @@ struct ScenarioResult {
   dms::RuleEngine::Stats rules{};
   wms::WorkloadGenerator::Stats workload{};
   std::uint64_t events_processed = 0;
+
+  /// Drain health: whether the scheduler emptied inside the grace
+  /// period, and what the transfer engine still held if it did not.
+  bool drained = true;
+  std::size_t transfers_in_flight = 0;
+  /// Fault windows that began during the run (0 on fault-free runs).
+  std::uint64_t fault_windows = 0;
 };
 
 /// Runs one deterministic campaign.  Equal configs (including seed)

@@ -25,6 +25,16 @@ ScenarioConfig ScenarioConfig::paper_scale() {
   return cfg;
 }
 
+ScenarioConfig& ScenarioConfig::with_self_healing() {
+  transfer.retry_backoff_base = util::seconds(20);
+  transfer.breaker_enabled = true;
+  transfer.breaker_threshold = 4;
+  transfer.breaker_cooldown = util::minutes(10);
+  transfer.alternate_source_retry = true;
+  transfer.max_attempts = 4;
+  return *this;
+}
+
 ScenarioConfig ScenarioConfig::heatmap_campaign() {
   ScenarioConfig cfg;
   cfg.days = 20.0;

@@ -5,8 +5,11 @@
 
 #include <cstdint>
 
+#include <vector>
+
 #include "dms/rule.hpp"
 #include "dms/transfer.hpp"
+#include "fault/fault.hpp"
 #include "grid/builder.hpp"
 #include "telemetry/corruption.hpp"
 #include "telemetry/recorder.hpp"
@@ -68,6 +71,20 @@ struct ScenarioConfig {
   /// depths, in-flight transfers, per-link load).  Only consulted when
   /// an obs::EventLog is installed; <= 0 disables sampling entirely.
   std::int64_t sample_interval_ms = 30 * 60 * 1000;
+
+  /// Infrastructure faults.  `faults.intensity > 0` samples a seeded
+  /// fault plan over the observation window (site/link/storage/service
+  /// windows, see fault::Plan::sample); `fault_windows` adds explicit
+  /// windows on top.  Both empty (the default) leaves every run
+  /// bit-identical to a fault-free build.
+  fault::Plan::SampleParams faults{};
+  std::vector<fault::FaultWindow> fault_windows;
+
+  /// Turns on the transfer engine's recovery stack (exponential backoff,
+  /// per-link circuit breaker, alternate-source retry, deeper retry
+  /// budget).  Off by default so existing presets keep their legacy
+  /// instant-requeue behavior.
+  ScenarioConfig& with_self_healing();
 
   /// Presets -----------------------------------------------------------
   /// Fast, small: unit/integration tests (half a day, small grid).

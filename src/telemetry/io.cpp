@@ -59,12 +59,13 @@ void write_transfers_csv(std::ostream& os, const MetadataStore& store) {
   util::CsvWriter csv(os);
   csv.row("transfer_id", "jeditaskid", "lfn", "dataset", "proddblock",
           "scope", "file_size", "source_site", "destination_site",
-          "activity", "started_at", "finished_at", "success");
+          "activity", "started_at", "finished_at", "success", "error");
   for (const TransferRecord& t : store.transfers()) {
     csv.row(t.transfer_id, t.jeditaskid, t.lfn, t.dataset, t.proddblock,
             t.scope, t.file_size, site_str(t.source_site),
             site_str(t.destination_site), static_cast<int>(t.activity),
-            t.started_at, t.finished_at, static_cast<int>(t.success));
+            t.started_at, t.finished_at, static_cast<int>(t.success),
+            static_cast<int>(t.error));
   }
 }
 
@@ -158,12 +159,17 @@ std::size_t read_transfers_csv(std::istream& is, MetadataStore& store) {
     TransferRecord t;
     int activity = 0;
     int success = 0;
-    if (row.size() != 13 || !parse_num(row[0], t.transfer_id) ||
+    int error = 0;
+    // 13-column files predate the error column; keep reading them.
+    const bool has_error = row.size() == 14;
+    if ((row.size() != 13 && row.size() != 14) ||
+        !parse_num(row[0], t.transfer_id) ||
         !parse_num(row[1], t.jeditaskid) || !parse_num(row[6], t.file_size) ||
         !parse_site(row[7], t.source_site) ||
         !parse_site(row[8], t.destination_site) ||
         !parse_num(row[9], activity) || !parse_num(row[10], t.started_at) ||
-        !parse_num(row[11], t.finished_at) || !parse_num(row[12], success)) {
+        !parse_num(row[11], t.finished_at) || !parse_num(row[12], success) ||
+        (has_error && !parse_num(row[13], error))) {
       ++skipped;
       continue;
     }
@@ -173,6 +179,7 @@ std::size_t read_transfers_csv(std::istream& is, MetadataStore& store) {
     t.scope = row[5];
     t.activity = static_cast<dms::Activity>(activity);
     t.success = success != 0;
+    t.error = static_cast<dms::TransferError>(error);
     store.record_transfer(std::move(t));
   }
   return skipped;
@@ -222,7 +229,8 @@ std::size_t emit_store_events(const MetadataStore& store, util::SimTime ts) {
                   .field("activity", static_cast<std::int32_t>(t.activity))
                   .field("started", t.started_at)
                   .field("finished", t.finished_at)
-                  .field("success", t.success));
+                  .field("success", t.success)
+                  .field("terr", static_cast<std::int32_t>(t.error)));
     ++emitted;
   }
   return emitted;

@@ -67,6 +67,7 @@ void Recorder::on_transfer(const dms::TransferOutcome& outcome) {
   record.started_at = outcome.started_at;
   record.finished_at = outcome.finished_at;
   record.success = outcome.success;
+  record.error = outcome.error;
 
   // Correlated corruption: a failed replica registration usually mangles
   // the recorded destination too (Fig. 12 / Table 3).

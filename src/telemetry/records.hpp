@@ -87,6 +87,9 @@ struct TransferRecord {
   util::SimTime started_at = 0;
   util::SimTime finished_at = 0;
   bool success = true;
+  /// Terminal-outcome attribution (dms::TransferError); kNone on clean
+  /// success.  Never consulted by matching — analysis-only.
+  dms::TransferError error = dms::TransferError::kNone;
 
   /// Interned attribute symbols; see FileRecord.  Symbols cover the
   /// string fields only — file_size is folded in at index-build time

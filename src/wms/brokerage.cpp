@@ -46,11 +46,27 @@ bool Brokerage::eligible(const grid::Site& site, const Job& job) const {
 
 grid::SiteId Brokerage::choose_site(const Job& job, const SiteQueues& queues,
                                     util::Rng& rng) const {
+  grid::SiteId best = pick(job, queues, rng, /*skip_down_sites=*/true);
+  if (best == grid::kUnknownSite) {
+    // Every eligible site is inside an outage window: assign anyway
+    // (the job queues at a dead site, as it would in production).
+    best = pick(job, queues, rng, /*skip_down_sites=*/false);
+  }
+  assert(best != grid::kUnknownSite);
+  return best;
+}
+
+grid::SiteId Brokerage::pick(const Job& job, const SiteQueues& queues,
+                             util::Rng& rng, bool skip_down_sites) const {
   grid::SiteId best = grid::kUnknownSite;
   double best_score = -1e300;
 
   for (const grid::Site& site : topology_->sites()) {
     if (!eligible(site, job)) continue;
+    if (skip_down_sites && injector_ != nullptr &&
+        injector_->site_down(site.id)) {
+      continue;
+    }
 
     double score = 0.0;
     switch (params_.policy) {
@@ -88,7 +104,6 @@ grid::SiteId Brokerage::choose_site(const Job& job, const SiteQueues& queues,
       best = site.id;
     }
   }
-  assert(best != grid::kUnknownSite);
   return best;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "dms/catalog.hpp"
+#include "fault/injector.hpp"
 #include "grid/topology.hpp"
 #include "util/rng.hpp"
 #include "wms/job.hpp"
@@ -53,8 +54,17 @@ class Brokerage {
 
   [[nodiscard]] const Params& params() const noexcept { return params_; }
 
+  /// Sites inside an outage fault window are skipped during selection.
+  /// If *every* eligible site is down, brokerage falls back to ignoring
+  /// outages (the job will queue and fail like it would in production).
+  void set_injector(const fault::Injector& injector) noexcept {
+    injector_ = &injector;
+  }
+
  private:
   [[nodiscard]] bool eligible(const grid::Site& site, const Job& job) const;
+  [[nodiscard]] grid::SiteId pick(const Job& job, const SiteQueues& queues,
+                                  util::Rng& rng, bool skip_down_sites) const;
   /// Locality score in bytes: disk replicas at full weight, tape-only
   /// residency discounted by tape_locality_weight.
   [[nodiscard]] double locality_bytes(const Job& job, grid::SiteId site) const;
@@ -63,6 +73,7 @@ class Brokerage {
   const dms::FileCatalog* catalog_;
   const dms::ReplicaCatalog* replicas_;
   Params params_;
+  const fault::Injector* injector_ = nullptr;
 };
 
 }  // namespace pandarus::wms

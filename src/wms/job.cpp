@@ -11,6 +11,7 @@ const char* message(std::int32_t code) noexcept {
     case kSiteServiceError: return "Site service error";
     case kOverlay: return "Non-zero return code from Overlay (1)";
     case kStageOutFailure: return "Stage-out failure";
+    case kSiteOutage: return "Computing site went offline mid-run";
   }
   return "Unknown error";
 }

@@ -48,6 +48,9 @@ inline constexpr std::int32_t kExecutionFailure = 1187;
 inline constexpr std::int32_t kSiteServiceError = 1201;
 inline constexpr std::int32_t kOverlay = 1305;
 inline constexpr std::int32_t kStageOutFailure = 1137;
+/// The job's computing site entered a fault window (site outage) while
+/// the job was running; PanDA kills and optionally resubmits it.
+inline constexpr std::int32_t kSiteOutage = 1213;
 
 [[nodiscard]] const char* message(std::int32_t code) noexcept;
 }  // namespace errors

@@ -527,4 +527,38 @@ void PandaServer::finalize_job(JobRuntime& rt, bool failed,
   jobs_.erase(rt.job.pandaid);
 }
 
+void PandaServer::set_injector(fault::Injector& injector) {
+  injector.subscribe([this](const fault::FaultWindow& window, bool begin) {
+    if (begin && window.kind == fault::FaultKind::kSiteOutage) {
+      on_site_outage(window.site);
+    }
+  });
+}
+
+void PandaServer::on_site_outage(grid::SiteId site) {
+  // Running jobs at the dead site lose their pilot.  Collect ids first
+  // (finalize_job mutates jobs_), sorted so the kill order — and the
+  // RNG draws of the retry path — is deterministic.
+  std::vector<JobId> doomed;
+  for (const auto& [id, rt] : jobs_) {
+    if (rt->job.computing_site == site &&
+        rt->job.status == JobStatus::kRunning) {
+      doomed.push_back(id);
+    }
+  }
+  std::sort(doomed.begin(), doomed.end());
+  for (JobId id : doomed) {
+    // Deferred a tick: the injector's transition hook chain should not
+    // reenter brokerage/transfer state mid-update.
+    scheduler_.schedule_after(0, [this, id] {
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) return;
+      JobRuntime& rt = *it->second;
+      if (rt.job.status != JobStatus::kRunning) return;
+      ++stats_.site_outage_kills;
+      finalize_job(rt, /*failed=*/true, errors::kSiteOutage);
+    });
+  }
+}
+
 }  // namespace pandarus::wms

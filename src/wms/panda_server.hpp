@@ -32,6 +32,7 @@
 #include "dms/rule.hpp"
 #include "dms/selector.hpp"
 #include "dms/transfer.hpp"
+#include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 #include "wms/brokerage.hpp"
@@ -115,6 +116,11 @@ class PandaServer {
   /// Submits a job (creation time = now).  The task must already exist.
   void submit_job(Job job);
 
+  /// Subscribes to site-outage fault windows: jobs running at a site
+  /// when it goes down are failed with errors::kSiteOutage (and retried
+  /// through the normal resubmission path).
+  void set_injector(fault::Injector& injector);
+
   [[nodiscard]] const Task& task(TaskId id) const { return tasks_.at(id); }
   [[nodiscard]] std::size_t active_jobs() const noexcept {
     return jobs_.size();
@@ -130,6 +136,7 @@ class PandaServer {
     std::uint64_t stage_timeouts = 0;
     std::uint64_t upload_transfers = 0;
     std::uint64_t retries = 0;
+    std::uint64_t site_outage_kills = 0;  ///< running jobs killed by outages
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -149,6 +156,7 @@ class PandaServer {
   void begin_stage_out(JobRuntime& rt, bool payload_failed,
                        std::int32_t error_code);
   void finalize_job(JobRuntime& rt, bool failed, std::int32_t error_code);
+  void on_site_outage(grid::SiteId site);
 
   sim::Scheduler& scheduler_;
   const grid::Topology& topology_;
