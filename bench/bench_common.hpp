@@ -7,10 +7,44 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "pandarus.hpp"
 
 namespace pandarus::bench {
+
+/// One benchmark result for the machine-readable CI artifact.  Kept
+/// free of any google-benchmark types so this header stays usable by
+/// the campaign benches that don't link it.
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0.0;        ///< mean wall time per iteration
+  double matched_jobs = -1.0;  ///< "matched_jobs" counter; -1 if absent
+};
+
+/// Writes records as JSON ({"benchmarks": [{name, wall_ms,
+/// matched_jobs}, ...]}); regression tooling diffs this across runs.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "bench: cannot write " << path << '\n';
+    return false;
+  }
+  std::fputs("{\n  \"benchmarks\": [", f);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f, "%s\n    {\"name\": \"%s\", \"wall_ms\": %.6f",
+                 i == 0 ? "" : ",", r.name.c_str(), r.wall_ms);
+    if (r.matched_jobs >= 0.0) {
+      std::fprintf(f, ", \"matched_jobs\": %.0f", r.matched_jobs);
+    }
+    std::fputs("}", f);
+  }
+  std::fputs("\n  ]\n}\n", f);
+  std::fclose(f);
+  return true;
+}
 
 inline constexpr std::uint64_t kDefaultSeed = 20250401;
 

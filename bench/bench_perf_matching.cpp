@@ -6,11 +6,43 @@
 // efficient computing for scalability ... such as parallelization".
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "pandarus.hpp"
 
 namespace {
 
 using namespace pandarus;
+
+/// Console output plus a machine-readable record per run, written to
+/// BENCH_perf.json at exit (override the path with PANDARUS_BENCH_JSON)
+/// so CI can archive and diff wall times and matched-job counts.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      bench::BenchRecord rec;
+      rec.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        rec.wall_ms = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e3;
+      }
+      const auto counter = run.counters.find("matched_jobs");
+      if (counter != run.counters.end()) {
+        rec.matched_jobs = counter->second.value;
+      }
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  [[nodiscard]] const std::vector<bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<bench::BenchRecord> records_;
+};
 
 const scenario::ScenarioResult& snapshot() {
   static const scenario::ScenarioResult result = [] {
@@ -175,7 +207,12 @@ int main(int argc, char** argv) {
   pandarus::obs::install_env_hooks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* json_path = std::getenv("PANDARUS_BENCH_JSON");
+  pandarus::bench::write_bench_json(
+      json_path != nullptr ? json_path : "BENCH_perf.json",
+      reporter.records());
   benchmark::Shutdown();
   return 0;
 }

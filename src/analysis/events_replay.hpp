@@ -81,6 +81,45 @@ struct ReplayResult {
   /// by dms::TransferError value (aborted, stalled_terminal, ...).
   std::map<std::int32_t, std::size_t> failure_causes;
 
+  /// Flow/transfer lifecycle hooks captured in stream order: exactly
+  /// the obs::FlowTracker calls the live simulation made, so
+  /// analysis::rebuild_flows can feed them to a detached tracker and
+  /// reproduce the online critical-path analysis verbatim.  flow_* rows
+  /// only exist when the stream was recorded with flows armed;
+  /// transfer_* rows are always present.
+  struct FlowEventRow {
+    enum class Op : std::uint8_t {
+      kFlowBegin,
+      kFlowBroker,
+      kFlowStage,
+      kFlowLink,
+      kFlowQueue,
+      kFlowRun,
+      kFlowStageOut,
+      kFlowEnd,
+      kTransferSubmit,
+      kTransferStart,
+      kTransferReroute,
+      kTransferRetry,
+      kTransferTerminal,
+    };
+    Op op = Op::kFlowBegin;
+    std::int64_t ts = 0;
+    std::int64_t entity = 0;       ///< pandaid (flow ops) / transfer id
+    std::int64_t task = -1;        ///< kFlowBegin
+    std::int64_t site = -1;        ///< kFlowBroker
+    std::int64_t candidates = -1;  ///< kFlowBroker
+    std::uint64_t transfer = 0;    ///< kFlowLink
+    std::int64_t file = -1;        ///< kTransferSubmit
+    std::int64_t src = -1;         ///< kTransferSubmit / kTransferStart
+    std::int64_t dst = -1;
+    std::int32_t attempt = 1;      ///< kFlowBegin / kTransferStart
+    std::int32_t error = 0;        ///< kFlowEnd
+    bool flag = false;  ///< shared / watchdog / failed / success
+    bool registered = false;  ///< kTransferTerminal
+  };
+  std::vector<FlowEventRow> flow_events;
+
   /// Every event kind seen, with its line count (sorted by kind).
   std::map<std::string, std::size_t> kind_counts;
   std::size_t lines_parsed = 0;

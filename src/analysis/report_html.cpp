@@ -12,6 +12,7 @@
 #include "analysis/bandwidth.hpp"
 #include "analysis/breakdown.hpp"
 #include "analysis/casestudy.hpp"
+#include "analysis/critical_path.hpp"
 #include "analysis/summary.hpp"
 #include "core/exact.hpp"
 #include "core/relaxed.hpp"
@@ -331,6 +332,59 @@ void write_sampler_section(std::ostream& os, const ReplayResult& replay) {
   os << "</table>";
 }
 
+void write_flow_section(std::ostream& os, const ReplayResult& replay) {
+  // Only meaningful when the stream was recorded with flows armed
+  // (PANDARUS_FLOWS): without flow_begin rows the rebuild yields no
+  // completed flows and the section is skipped.
+  using Op = ReplayResult::FlowEventRow::Op;
+  const bool has_flows =
+      std::any_of(replay.flow_events.begin(), replay.flow_events.end(),
+                  [](const ReplayResult::FlowEventRow& r) {
+                    return r.op == Op::kFlowBegin;
+                  });
+  if (!has_flows) return;
+  const FlowAnalysis flows = rebuild_flows(replay);
+  if (flows.flows.empty()) return;
+
+  os << "<h2>Critical-path wait attribution (causal flows)</h2>"
+     << "<p>" << flows.flows.size() << " flows rebuilt from flow_* events; "
+     << "per-job wall-clock decomposed into broker | stage-in | queue | "
+        "run | stage-out (parts sum to wall exactly)</p>"
+     << "<h3>Phase breakdown</h3>"
+     << "<table><tr><th>phase</th><th>p50 ms</th><th>p95 ms</th>"
+     << "<th>p99 ms</th><th>max ms</th><th>total ms</th></tr>";
+  for (const PhaseQuantiles& q : flows.quantiles) {
+    os << "<tr><td>" << esc(q.phase) << "</td><td>"
+       << util::format_count(q.p50) << "</td><td>"
+       << util::format_count(q.p95) << "</td><td>"
+       << util::format_count(q.p99) << "</td><td>"
+       << util::format_count(q.max) << "</td><td>"
+       << util::format_count(q.total_ms) << "</td></tr>";
+  }
+  os << "</table>";
+
+  os << "<p>failed " << flows.totals.failed << ", sequential staging "
+     << flows.totals.sequential_staging << ", redundant transfers "
+     << flows.totals.redundant_transfers << ", watchdog releases "
+     << flows.totals.watchdog_releases << ", reroutes "
+     << flows.totals.reroutes << "</p>";
+
+  if (!flows.link_ranking.empty()) {
+    os << "<h3>Top offending links (critical stage-in time)</h3>"
+       << "<table><tr><th>rank</th><th>link</th><th>critical ms</th>"
+       << "<th>flows</th></tr>";
+    const std::size_t n = std::min<std::size_t>(10, flows.link_ranking.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const obs::LinkCritical& lc = flows.link_ranking[i];
+      os << "<tr><td>" << i + 1 << "</td><td>" << esc(flows.site_label(lc.src))
+         << " &rarr; " << esc(flows.site_label(lc.dst)) << "</td><td>"
+         << util::format_count(lc.critical_ms) << "</td><td>" << lc.flows
+         << "</td></tr>";
+    }
+    os << "</table>";
+  }
+}
+
 void write_heatmap_section(std::ostream& os, const ReplayResult& replay) {
   // Site-by-site successful transfer volume, log-scaled (the Fig. 3
   // shape); built straight from the replayed transfer records.
@@ -403,6 +457,7 @@ void write_html_report(std::ostream& os, const ReplayResult& replay,
     os << "<p>stream carried no harvest records; matching skipped</p>";
   }
 
+  write_flow_section(os, replay);
   write_fault_section(os, replay);
   write_sampler_section(os, replay);
   write_heatmap_section(os, replay);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/event_log.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -169,6 +170,11 @@ std::uint64_t TransferEngine::submit(TransferRequest request) {
                   .field("activity", static_cast<std::int32_t>(req.activity))
                   .field("task", req.jeditaskid));
   }
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    const TransferRequest& req = ls.pending.back()->request;
+    flows->transfer_submitted(id, static_cast<std::int64_t>(req.file),
+                              req.src, req.dst, scheduler_.now());
+  }
   try_start(ls);
   return id;
 }
@@ -269,6 +275,9 @@ TransferEngine::LinkState* TransferEngine::reroute_target(Active& active) {
                   .field("dst", active.request.dst)
                   .field("attempt", active.attempt));
   }
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->transfer_rerouted(active.id);
+  }
   active.request.src = src;
   return &target;
 }
@@ -302,6 +311,10 @@ void TransferEngine::start_one(LinkState& ls) {
                   .field("dst", ls.key.dst)
                   .field("attempt", active->attempt)
                   .field("effective_start", active->started_at));
+  }
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->attempt_start(active->id, active->attempt, ls.key.src, ls.key.dst,
+                         scheduler_.now());
   }
   ls.active.push_back(std::move(active));
   schedule_rerate(ls);
@@ -477,6 +490,10 @@ void TransferEngine::complete(LinkState& ls, Active* active) {
                     .field("next_src", target->key.src)
                     .field("backoff_ms", delay));
     }
+    if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+      flows->attempt_end(done->id, scheduler_.now(), /*success=*/false,
+                         /*terminal=*/false, /*registered=*/false);
+    }
     done->attempt += 1;
     done->finish_event = {};
     done->rate_bps = 0.0;
@@ -586,6 +603,11 @@ void TransferEngine::finalize(std::unique_ptr<Active> active, bool success) {
                   .field("attempts", outcome.attempts)
                   .field("registered", outcome.replica_registered)
                   .field("error", transfer_error_name(outcome.error)));
+  }
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->attempt_end(outcome.transfer_id, outcome.finished_at,
+                       outcome.success, /*terminal=*/true,
+                       outcome.replica_registered);
   }
 
   if (active->request.on_complete) active->request.on_complete(outcome);

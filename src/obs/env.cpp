@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/event_log.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -15,8 +16,10 @@ namespace {
 std::string g_metrics_path;
 std::string g_trace_path;
 std::string g_events_path;
+std::string g_flows_path;
 TraceRecorder* g_env_recorder = nullptr;
 EventLog* g_env_event_log = nullptr;
+FlowTracker* g_env_flow_tracker = nullptr;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -46,13 +49,18 @@ void dump_at_exit() {
   if (g_env_event_log != nullptr) {
     g_env_event_log->write_ndjson(g_events_path);
   }
+  if (g_env_flow_tracker != nullptr && !g_flows_path.empty()) {
+    g_env_flow_tracker->write_collapsed(g_flows_path);
+  }
 }
 
 bool install_once() {
   const char* metrics = std::getenv("PANDARUS_METRICS");
   const char* trace = std::getenv("PANDARUS_TRACE");
   const char* events = std::getenv("PANDARUS_EVENTS");
-  if (metrics == nullptr && trace == nullptr && events == nullptr) {
+  const char* flows = std::getenv("PANDARUS_FLOWS");
+  if (metrics == nullptr && trace == nullptr && events == nullptr &&
+      flows == nullptr) {
     return false;
   }
   if (metrics != nullptr) g_metrics_path = metrics;
@@ -68,6 +76,14 @@ bool install_once() {
     // Leaked for the same reason as the trace recorder.
     g_env_event_log = new EventLog();
     g_env_event_log->install();
+  }
+  if (flows != nullptr) {
+    // The value is the collapsed-stack dump path ("" arms the tracker
+    // without a dump).  Leaked like the recorder: end_flow may fire
+    // during static destruction.
+    g_flows_path = flows;
+    g_env_flow_tracker = new FlowTracker();
+    g_env_flow_tracker->install();
   }
   std::atexit(dump_at_exit);
   return true;

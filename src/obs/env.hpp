@@ -8,7 +8,12 @@
 //   PANDARUS_EVENTS=<path>   install a process-lifetime EventLog now
 //                            and write the NDJSON event stream at exit
 //                            (consumed offline by pandarus-report and
-//                            analysis::replay_events).
+//                            analysis::replay_events);
+//   PANDARUS_FLOWS=<path>    install a process-lifetime FlowTracker now
+//                            (flow_* events appear in the EventLog
+//                            stream, flow lanes in the Chrome trace) and
+//                            write flamegraph collapsed stacks to <path>
+//                            at exit (empty value: track, no dump).
 //
 // One call near the start of main() is enough; binaries need no other
 // per-binary wiring.

@@ -78,6 +78,94 @@ std::size_t Counter::shard_index() noexcept {
 Gauge::Gauge(std::string name, std::string help)
     : name_(std::move(name)), help_(std::move(help)) {}
 
+// --- P2Quantile -----------------------------------------------------------
+
+P2Quantile::P2Quantile(double q) noexcept : q_(q) {}
+
+void P2Quantile::reset() noexcept {
+  for (std::size_t i = 0; i < 5; ++i) {
+    h_[i] = 0.0;
+    pos_[i] = static_cast<double>(i + 1);
+    desired_[i] = 0.0;
+  }
+  n_ = 0;
+}
+
+void P2Quantile::observe(double v) noexcept {
+  if (!std::isfinite(v)) return;
+  if (n_ < 5) {
+    h_[n_++] = v;
+    if (n_ == 5) {
+      std::sort(h_, h_ + 5);
+      desired_[0] = 1.0;
+      desired_[1] = 1.0 + 2.0 * q_;
+      desired_[2] = 1.0 + 4.0 * q_;
+      desired_[3] = 3.0 + 2.0 * q_;
+      desired_[4] = 5.0;
+    }
+    return;
+  }
+  // Locate the cell k such that h_[k] <= v < h_[k + 1], extending the
+  // extreme markers when v falls outside the current range.
+  std::size_t k = 0;
+  if (v < h_[0]) {
+    h_[0] = v;
+    k = 0;
+  } else if (v >= h_[4]) {
+    h_[4] = v;
+    k = 3;
+  } else {
+    while (k < 3 && v >= h_[k + 1]) ++k;
+  }
+  ++n_;
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  desired_[1] += q_ / 2.0;
+  desired_[2] += q_;
+  desired_[3] += (1.0 + q_) / 2.0;
+  desired_[4] += 1.0;
+  // Nudge the three interior markers toward their desired positions,
+  // preferring the parabolic (P²) height update and falling back to
+  // linear when the parabola would break marker monotonicity.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double parabolic =
+          h_[i] +
+          s / (pos_[i + 1] - pos_[i - 1]) *
+              ((pos_[i] - pos_[i - 1] + s) * (h_[i + 1] - h_[i]) /
+                   (pos_[i + 1] - pos_[i]) +
+               (pos_[i + 1] - pos_[i] - s) * (h_[i] - h_[i - 1]) /
+                   (pos_[i] - pos_[i - 1]));
+      if (h_[i - 1] < parabolic && parabolic < h_[i + 1]) {
+        h_[i] = parabolic;
+      } else {
+        const std::size_t j = s > 0 ? i + 1 : i - 1;
+        h_[i] = h_[i] + s * (h_[j] - h_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::estimate() const noexcept {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact path: sorted raw samples, linear interpolation at the
+    // 0-based fractional rank q * (n - 1).
+    double sorted[5];
+    std::copy(h_, h_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const double rank = q_ * static_cast<double>(n_ - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = lo + 1 < n_ ? lo + 1 : lo;
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+  return h_[2];
+}
+
 // --- Histogram ------------------------------------------------------------
 
 Histogram::Histogram(std::string name, std::string help,
@@ -99,6 +187,27 @@ void Histogram::observe(double v) noexcept {
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+  while (sketch_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  p50_.observe(v);
+  p95_.observe(v);
+  p99_.observe(v);
+  sketch_lock_.clear(std::memory_order_release);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  while (sketch_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  double out = 0.0;
+  if (q == 0.5) {
+    out = p50_.estimate();
+  } else if (q == 0.95) {
+    out = p95_.estimate();
+  } else if (q == 0.99) {
+    out = p99_.estimate();
+  }
+  sketch_lock_.clear(std::memory_order_release);
+  return out;
 }
 
 double Histogram::sum() const noexcept {
@@ -111,6 +220,12 @@ void Histogram::reset() noexcept {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  while (sketch_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  p50_.reset();
+  p95_.reset();
+  p99_.reset();
+  sketch_lock_.clear(std::memory_order_release);
 }
 
 // --- Snapshot -------------------------------------------------------------
@@ -201,6 +316,9 @@ Snapshot Registry::snapshot() const {
       }
       v.count = h->count();
       v.sum = h->sum();
+      v.p50 = h->quantile(0.5);
+      v.p95 = h->quantile(0.95);
+      v.p99 = h->quantile(0.99);
       out.histograms.push_back(std::move(v));
     }
   }
@@ -243,7 +361,10 @@ std::string export_json(const Snapshot& snapshot) {
     }
     out += "], \"overflow\": " + std::to_string(h.buckets.back()) +
            ", \"count\": " + std::to_string(h.count) +
-           ", \"sum\": " + format_double(h.sum) + "}";
+           ", \"sum\": " + format_double(h.sum) +
+           ", \"p50\": " + format_double(h.p50) +
+           ", \"p95\": " + format_double(h.p95) +
+           ", \"p99\": " + format_double(h.p99) + "}";
   }
   out += "\n  }\n}\n";
   return out;
@@ -277,6 +398,16 @@ std::string export_prometheus(const Snapshot& snapshot) {
            "\n";
     out += h.name + "_sum " + format_double(h.sum) + "\n";
     out += h.name + "_count " + std::to_string(h.count) + "\n";
+    // Streaming quantile estimates ride along as separate gauge
+    // families: a `{quantile=...}` label on the histogram family name
+    // itself would collide with the histogram TYPE declaration under
+    // strict exposition-format parsers.
+    out += "# TYPE " + h.name + "_p50 gauge\n";
+    out += h.name + "_p50 " + format_double(h.p50) + "\n";
+    out += "# TYPE " + h.name + "_p95 gauge\n";
+    out += h.name + "_p95 " + format_double(h.p95) + "\n";
+    out += "# TYPE " + h.name + "_p99 gauge\n";
+    out += h.name + "_p99 " + format_double(h.p99) + "\n";
   }
   return out;
 }

@@ -92,14 +92,43 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// Streaming quantile estimator for one fixed quantile `q` using the
+/// P² (piecewise-parabolic) algorithm of Jain & Chlamtac (1985): five
+/// markers track {min, q/2, q, (1+q)/2, max} in O(1) memory and O(1)
+/// per observation.  Below five samples the estimate is exact (sorted
+/// buffer with linear rank interpolation); with zero samples it is 0.
+/// Not thread-safe on its own — Histogram serializes access.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) noexcept;
+
+  void observe(double v) noexcept;
+  [[nodiscard]] double estimate() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  void reset() noexcept;
+
+ private:
+  double q_;
+  double h_[5] = {0, 0, 0, 0, 0};    ///< marker heights (raw samples while n_ < 5)
+  double pos_[5] = {1, 2, 3, 4, 5};  ///< actual marker positions (1-based)
+  double desired_[5] = {0, 0, 0, 0, 0};
+  std::uint64_t n_ = 0;
+};
+
 /// Prometheus-style histogram: `bounds` are strictly increasing upper
 /// bucket edges (a sample lands in the first bucket with value <=
 /// bound; larger samples land in the implicit +Inf bucket).  Buckets
 /// are plain atomics — histograms record per-task/per-job quantities,
 /// not per-candidate hot-loop ones, so sharding isn't warranted.
+/// Each histogram additionally feeds three P² sketches (p50/p95/p99)
+/// behind a short spin lock, same per-job cost argument.
 class Histogram {
  public:
   void observe(double v) noexcept;
+
+  /// Streaming quantile estimate; `q` must be one of 0.5, 0.95, 0.99
+  /// (the tracked sketches), anything else returns 0.
+  [[nodiscard]] double quantile(double q) const noexcept;
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;
@@ -128,6 +157,12 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // Quantile sketches share one spin lock: observe() is noexcept and
+  // must not touch std::mutex (which may throw); contention is per-job.
+  mutable std::atomic_flag sketch_lock_ = ATOMIC_FLAG_INIT;
+  P2Quantile p50_{0.5};
+  P2Quantile p95_{0.95};
+  P2Quantile p99_{0.99};
 };
 
 /// Point-in-time copy of every metric, sorted by name within each kind.
@@ -149,6 +184,9 @@ struct Snapshot {
     std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (+Inf last)
     std::uint64_t count = 0;
     double sum = 0.0;
+    double p50 = 0.0;  ///< streaming P² estimates (exact below 5 samples)
+    double p95 = 0.0;
+    double p99 = 0.0;
   };
 
   std::vector<CounterValue> counters;

@@ -77,6 +77,10 @@ TraceRecorder::Buffer& TraceRecorder::local_buffer() {
 void TraceRecorder::record(const char* name, const char* category,
                            std::int64_t start_us, std::int64_t dur_us,
                            std::int64_t arg) {
+  record_event({name, category, start_us, dur_us, arg});
+}
+
+void TraceRecorder::record_event(const TraceEvent& event) {
   Buffer& buffer = local_buffer();
   if (buffer.events.size() >= max_events_per_thread_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -87,7 +91,7 @@ void TraceRecorder::record(const char* name, const char* category,
     }
     return;
   }
-  buffer.events.push_back({name, category, start_us, dur_us, arg});
+  buffer.events.push_back(event);
 }
 
 std::size_t TraceRecorder::event_count() const {
@@ -105,14 +109,37 @@ std::string TraceRecorder::to_chrome_json() const {
     for (const TraceEvent& e : buffer->events) {
       out += first ? "\n" : ",\n";
       first = false;
+      if (e.ph == 'M') {
+        // Process-name metadata: labels the sim flow/transfer lanes in
+        // Perfetto; e.name carries the label.
+        out += R"({"name": "process_name", "ph": "M", "pid": )";
+        out += std::to_string(e.pid);
+        out += R"(, "tid": 0, "args": {"name": ")";
+        append_escaped(out, e.name);
+        out += "\"}}";
+        continue;
+      }
+      const std::int64_t tid =
+          e.tid == TraceEvent::kThreadTid ? buffer->tid : e.tid;
       out += R"({"name": ")";
       append_escaped(out, e.name);
       out += R"(", "cat": ")";
       append_escaped(out, e.category);
-      out += R"(", "ph": "X", "pid": 1, "tid": )";
-      out += std::to_string(buffer->tid);
+      out += R"(", "ph": ")";
+      out += e.ph;
+      out += R"(", "pid": )";
+      out += std::to_string(e.pid);
+      out += ", \"tid\": ";
+      out += std::to_string(tid);
       out += ", \"ts\": " + std::to_string(e.start_us);
-      out += ", \"dur\": " + std::to_string(e.dur_us);
+      if (e.ph == 'X') {
+        out += ", \"dur\": " + std::to_string(e.dur_us);
+      } else if (e.ph == 's' || e.ph == 'f') {
+        out += ", \"id\": " + std::to_string(e.flow_id);
+        // Bind the arrow tail to the enclosing slice so Perfetto draws
+        // it even when the 'f' timestamp sits inside the target span.
+        if (e.ph == 'f') out += R"(, "bp": "e")";
+      }
       if (e.arg != kNoArg) {
         out += ", \"args\": {\"v\": " + std::to_string(e.arg) + "}";
       }

@@ -20,12 +20,48 @@
 
 namespace pandarus::obs {
 
+// --- Timestamp unit contract ----------------------------------------------
+//
+// Two clock domains cross the obs layer, and they never mix implicitly:
+//
+//  * simulated time — util::SimTime milliseconds since campaign start.
+//    obs::EventLog `ts` fields and obs::Sampler tick times live here.
+//  * wall time — microseconds on the steady clock since the process
+//    trace epoch (TraceRecorder::now_us()).  TraceRecorder events live
+//    here because Chrome trace JSON `ts`/`dur` are microseconds by spec.
+//
+// Simulated-time spans rendered into a trace (flow lanes) are scaled
+// ms -> us through to_micros so one simulated millisecond occupies one
+// visual microsecond; wall-clock gauges derived from now_us() go back
+// through to_millis.  All conversions use these helpers — a bare
+// `* 1000` or `/ 1000` on a timestamp is a contract violation.
+[[nodiscard]] inline constexpr std::int64_t to_micros(
+    std::int64_t millis) noexcept {
+  return millis * 1000;
+}
+[[nodiscard]] inline constexpr std::int64_t to_millis(
+    std::int64_t micros) noexcept {
+  return micros / 1000;
+}
+static_assert(to_micros(1) == 1000 && to_millis(to_micros(7)) == 7,
+              "obs timestamp contract: 1 ms == 1000 us, lossless round-trip");
+
 struct TraceEvent {
+  /// Sentinel `tid`: use the recording thread's per-buffer track.
+  static constexpr std::int64_t kThreadTid = -1;
+
   const char* name;
   const char* category;
   std::int64_t start_us;  ///< microseconds since process trace epoch
   std::int64_t dur_us;
   std::int64_t arg;  ///< kNoArg, or emitted as args:{"v": arg}
+  // Flow-lane extensions; the defaults reproduce the classic wall-clock
+  // "X" span on the recording thread's track, so record() callers are
+  // unaffected.
+  char ph = 'X';  ///< 'X' span, 's'/'f' flow arrow ends, 'M' process name
+  std::int32_t pid = 1;            ///< see TraceRecorder::k*Pid
+  std::int64_t tid = kThreadTid;   ///< explicit track id (flow/transfer lanes)
+  std::uint64_t flow_id = 0;       ///< Chrome trace "id" binding 's' to 'f'
 };
 
 /// Collects spans from any thread; one buffer per (recorder, thread).
@@ -35,6 +71,12 @@ struct TraceEvent {
 class TraceRecorder {
  public:
   static constexpr std::int64_t kNoArg = INT64_MIN;
+  /// Trace "process" lanes: wall-clock spans keep pid 1 (unchanged
+  /// output); simulated-time flow and transfer lanes render under their
+  /// own pids so the two clock domains never share a timeline.
+  static constexpr std::int32_t kWallPid = 1;
+  static constexpr std::int32_t kFlowPid = 2;
+  static constexpr std::int32_t kTransferPid = 3;
 
   /// `max_events_per_thread` bounds each thread buffer; overflowing
   /// events are counted as dropped (and warned once via util::log_line).
@@ -53,6 +95,10 @@ class TraceRecorder {
 
   void record(const char* name, const char* category, std::int64_t start_us,
               std::int64_t dur_us, std::int64_t arg = kNoArg);
+  /// Fully-specified variant for flow lanes / flow arrows ('s'/'f'
+  /// phases, explicit pid/tid, Chrome "id"); same buffering and
+  /// overflow accounting as record().
+  void record_event(const TraceEvent& event);
 
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::uint64_t dropped() const noexcept {

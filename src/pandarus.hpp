@@ -20,6 +20,7 @@
 #include "analysis/bandwidth.hpp"
 #include "analysis/breakdown.hpp"
 #include "analysis/casestudy.hpp"
+#include "analysis/critical_path.hpp"
 #include "analysis/events_replay.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/imbalance.hpp"
@@ -52,6 +53,7 @@
 #include "grid/topology.hpp"
 #include "obs/env.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"

@@ -11,6 +11,7 @@
 #include "fault/fault.hpp"
 #include "fault/injector.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -410,11 +411,18 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   result.workload = workload.stats();
   result.events_processed = scheduler.processed_count();
 
+  // Causal-flow harvest: aggregates only — flow tracking must leave the
+  // non-flow_* event stream byte-identical, so nothing is emitted here.
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    result.flow_totals = flows->totals();
+    result.flow_link_ranking = flows->link_ranking();
+  }
+
   phase_span.reset();
   obs::Registry::global()
       .gauge("pandarus_campaign_last_wall_ms",
              "Wall-clock milliseconds of the most recent run_campaign")
-      .set((obs::TraceRecorder::now_us() - wall_start_us) / 1000);
+      .set(obs::to_millis(obs::TraceRecorder::now_us() - wall_start_us));
   return result;
 }
 

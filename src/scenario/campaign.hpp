@@ -5,10 +5,13 @@
 // examples and every bench binary.
 #pragma once
 
+#include <vector>
+
 #include "dms/catalog.hpp"
 #include "dms/deletion.hpp"
 #include "dms/rse.hpp"
 #include "grid/topology.hpp"
+#include "obs/flow.hpp"
 #include "scenario/config.hpp"
 #include "telemetry/corruption.hpp"
 #include "telemetry/store.hpp"
@@ -39,6 +42,12 @@ struct ScenarioResult {
   std::size_t transfers_in_flight = 0;
   /// Fault windows that began during the run (0 on fault-free runs).
   std::uint64_t fault_windows = 0;
+
+  /// Causal-flow aggregates, harvested when a FlowTracker was installed
+  /// for the run (all-zero / empty otherwise).  Purely in-memory: flow
+  /// tracking never alters the campaign's non-flow_* event stream.
+  obs::FlowTotals flow_totals{};
+  std::vector<obs::LinkCritical> flow_link_ranking;
 };
 
 /// Runs one deterministic campaign.  Equal configs (including seed)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/flow.hpp"
+
 namespace pandarus::wms {
 
 const char* policy_name(BrokeragePolicy policy) noexcept {
@@ -46,20 +48,26 @@ bool Brokerage::eligible(const grid::Site& site, const Job& job) const {
 
 grid::SiteId Brokerage::choose_site(const Job& job, const SiteQueues& queues,
                                     util::Rng& rng) const {
-  grid::SiteId best = pick(job, queues, rng, /*skip_down_sites=*/true);
+  std::int64_t scored = 0;
+  grid::SiteId best = pick(job, queues, rng, /*skip_down_sites=*/true, &scored);
   if (best == grid::kUnknownSite) {
     // Every eligible site is inside an outage window: assign anyway
     // (the job queues at a dead site, as it would in production).
-    best = pick(job, queues, rng, /*skip_down_sites=*/false);
+    best = pick(job, queues, rng, /*skip_down_sites=*/false, &scored);
   }
   assert(best != grid::kUnknownSite);
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->broker_scored(static_cast<std::int64_t>(job.pandaid), scored);
+  }
   return best;
 }
 
 grid::SiteId Brokerage::pick(const Job& job, const SiteQueues& queues,
-                             util::Rng& rng, bool skip_down_sites) const {
+                             util::Rng& rng, bool skip_down_sites,
+                             std::int64_t* scored) const {
   grid::SiteId best = grid::kUnknownSite;
   double best_score = -1e300;
+  if (scored != nullptr) *scored = 0;
 
   for (const grid::Site& site : topology_->sites()) {
     if (!eligible(site, job)) continue;
@@ -67,6 +75,7 @@ grid::SiteId Brokerage::pick(const Job& job, const SiteQueues& queues,
         injector_->site_down(site.id)) {
       continue;
     }
+    if (scored != nullptr) ++*scored;
 
     double score = 0.0;
     switch (params_.policy) {

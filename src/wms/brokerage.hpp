@@ -63,8 +63,10 @@ class Brokerage {
 
  private:
   [[nodiscard]] bool eligible(const grid::Site& site, const Job& job) const;
+  /// `scored` (optional) receives the number of candidate sites scored.
   [[nodiscard]] grid::SiteId pick(const Job& job, const SiteQueues& queues,
-                                  util::Rng& rng, bool skip_down_sites) const;
+                                  util::Rng& rng, bool skip_down_sites,
+                                  std::int64_t* scored = nullptr) const;
   /// Locality score in bytes: disk replicas at full weight, tape-only
   /// residency discounted by tape_locality_weight.
   [[nodiscard]] double locality_bytes(const Job& job, grid::SiteId site) const;

@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "obs/event_log.hpp"
+#include "obs/flow.hpp"
 
 namespace pandarus::wms {
 namespace {
@@ -85,7 +86,19 @@ void PandaServer::submit_job(Job job) {
 
   auto rt = std::make_unique<JobRuntime>();
   rt->job = std::move(job);
+  // The flow root opens before brokerage so the brokerage hook can
+  // annotate it with the number of candidates it scored.
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->begin_flow(static_cast<std::int64_t>(rt->job.pandaid),
+                      rt->job.jeditaskid,
+                      static_cast<std::int32_t>(rt->job.attempt),
+                      scheduler_.now());
+  }
   rt->job.computing_site = brokerage_.choose_site(rt->job, queues_, rng_);
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->broker_decision(static_cast<std::int64_t>(rt->job.pandaid),
+                           rt->job.computing_site, scheduler_.now());
+  }
   JobRuntime& ref = *rt;
   jobs_.emplace(ref.job.pandaid, std::move(rt));
   emit_job_state(ref.job, "submitted", scheduler_.now());
@@ -95,6 +108,10 @@ void PandaServer::submit_job(Job job) {
 void PandaServer::begin_staging(JobRuntime& rt) {
   rt.job.status = JobStatus::kStaging;
   emit_job_state(rt.job, "staging", scheduler_.now());
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->stage_begin(static_cast<std::int64_t>(rt.job.pandaid),
+                       scheduler_.now());
+  }
   const grid::SiteId site = rt.job.computing_site;
 
   std::vector<dms::FileId> missing;
@@ -178,11 +195,18 @@ void PandaServer::request_file(JobRuntime& rt, dms::FileId file,
   if (it != staging_waiters_.end()) {
     // Another job already requested this file to this site: share the
     // in-flight transfer instead of duplicating it.
-    it->second.push_back(rt.job.pandaid);
+    it->second.waiters.push_back(rt.job.pandaid);
     ++stats_.shared_stage_hits;
+    if (it->second.transfer_id != 0) {
+      if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+        flows->link_transfer(static_cast<std::int64_t>(rt.job.pandaid),
+                             it->second.transfer_id, scheduler_.now(),
+                             /*shared=*/true);
+      }
+    }
     return;
   }
-  staging_waiters_.emplace(key, std::vector<JobId>{rt.job.pandaid});
+  staging_waiters_.emplace(key, StagingEntry{0, {rt.job.pandaid}});
 
   const dms::RseId source =
       selector_.select_source(file, site, scheduler_.now());
@@ -191,7 +215,7 @@ void PandaServer::request_file(JobRuntime& rt, dms::FileId file,
     scheduler_.schedule_after(0, [this, key, file] {
       auto waiters_it = staging_waiters_.find(key);
       if (waiters_it == staging_waiters_.end()) return;
-      std::vector<JobId> waiters = std::move(waiters_it->second);
+      std::vector<JobId> waiters = std::move(waiters_it->second.waiters);
       staging_waiters_.erase(waiters_it);
       for (JobId id : waiters) on_stage_done(id, file, /*success=*/false);
     });
@@ -210,12 +234,19 @@ void PandaServer::request_file(JobRuntime& rt, dms::FileId file,
   req.on_complete = [this, key, file](const dms::TransferOutcome& outcome) {
     auto waiters_it = staging_waiters_.find(key);
     if (waiters_it == staging_waiters_.end()) return;
-    std::vector<JobId> waiters = std::move(waiters_it->second);
+    std::vector<JobId> waiters = std::move(waiters_it->second.waiters);
     staging_waiters_.erase(waiters_it);
     for (JobId id : waiters) on_stage_done(id, file, outcome.success);
   };
-  engine_.submit(std::move(req));
+  const std::uint64_t transfer_id = engine_.submit(std::move(req));
+  if (auto entry = staging_waiters_.find(key); entry != staging_waiters_.end()) {
+    entry->second.transfer_id = transfer_id;
+  }
   ++stats_.stage_in_transfers;
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->link_transfer(static_cast<std::int64_t>(rt.job.pandaid),
+                         transfer_id, scheduler_.now(), /*shared=*/false);
+  }
 }
 
 void PandaServer::prefetch_file(const Job& job, dms::FileId file,
@@ -223,7 +254,7 @@ void PandaServer::prefetch_file(const Job& job, dms::FileId file,
   const grid::SiteId site = job.computing_site;
   const std::uint64_t key = staging_key(file, site);
   if (staging_waiters_.contains(key)) return;  // already in flight
-  staging_waiters_.emplace(key, std::vector<JobId>{});
+  staging_waiters_.emplace(key, StagingEntry{});
 
   const dms::RseId source =
       selector_.select_source(file, site, scheduler_.now());
@@ -244,12 +275,15 @@ void PandaServer::prefetch_file(const Job& job, dms::FileId file,
   req.on_complete = [this, key, file](const dms::TransferOutcome& outcome) {
     auto waiters_it = staging_waiters_.find(key);
     if (waiters_it == staging_waiters_.end()) return;
-    std::vector<JobId> waiters = std::move(waiters_it->second);
+    std::vector<JobId> waiters = std::move(waiters_it->second.waiters);
     staging_waiters_.erase(waiters_it);
     // Jobs submitted after the prefetch began may have joined as waiters.
     for (JobId id : waiters) on_stage_done(id, file, outcome.success);
   };
-  engine_.submit(std::move(req));
+  const std::uint64_t transfer_id = engine_.submit(std::move(req));
+  if (auto entry = staging_waiters_.find(key); entry != staging_waiters_.end()) {
+    entry->second.transfer_id = transfer_id;
+  }
   ++stats_.prefetch_transfers;
 }
 
@@ -288,6 +322,10 @@ void PandaServer::proceed_to_queue(JobRuntime& rt) {
                   .field("attempt", rt.job.attempt)
                   .field("watchdog_release", rt.released_by_watchdog));
   }
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->queue_enter(static_cast<std::int64_t>(rt.job.pandaid),
+                       scheduler_.now(), rt.released_by_watchdog);
+  }
   const JobId id = rt.job.pandaid;
   queues_.request_slot(
       rt.job.computing_site,
@@ -303,6 +341,10 @@ void PandaServer::start_execution(JobRuntime& rt) {
   rt.job.status = JobStatus::kRunning;
   rt.job.start_time = scheduler_.now();
   emit_job_state(rt.job, "running", scheduler_.now());
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->run_begin(static_cast<std::int64_t>(rt.job.pandaid),
+                     scheduler_.now());
+  }
 
   // Direct IO: open the streams now; they run concurrently with the
   // payload (Table 1's "Analysis Download Direct IO" activity).  The
@@ -329,7 +371,11 @@ void PandaServer::start_execution(JobRuntime& rt) {
       auto it = jobs_.find(id);
       if (it != jobs_.end()) it->second->direct_io_failed = true;
     };
-    engine_.submit(std::move(req));
+    const std::uint64_t transfer_id = engine_.submit(std::move(req));
+    if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+      flows->link_transfer(static_cast<std::int64_t>(id), transfer_id,
+                           scheduler_.now(), /*shared=*/false);
+    }
   }
 
   const grid::Site& site = topology_.site(rt.job.computing_site);
@@ -395,6 +441,10 @@ void PandaServer::finish_execution(JobRuntime& rt) {
 void PandaServer::begin_stage_out(JobRuntime& rt, bool payload_failed,
                                   std::int32_t error_code) {
   const grid::SiteId site = rt.job.computing_site;
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->stage_out_begin(static_cast<std::int64_t>(rt.job.pandaid),
+                           scheduler_.now());
+  }
 
   if (!payload_failed) {
     // Outputs land on the local RSE first; local writes are storage
@@ -449,7 +499,11 @@ void PandaServer::begin_stage_out(JobRuntime& rt, bool payload_failed,
                                                  : errors::kNone);
             }
           };
-          engine_.submit(std::move(req));
+          const std::uint64_t transfer_id = engine_.submit(std::move(req));
+          if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+            flows->link_transfer(static_cast<std::int64_t>(id), transfer_id,
+                                 scheduler_.now(), /*shared=*/false);
+          }
           ++rt.pending_uploads;
           ++stats_.upload_transfers;
         }
@@ -481,6 +535,10 @@ void PandaServer::finalize_job(JobRuntime& rt, bool failed,
                   .field("site", rt.job.computing_site)
                   .field("attempt", rt.job.attempt)
                   .field("error", rt.job.error_code));
+  }
+  if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
+    flows->end_flow(static_cast<std::int64_t>(rt.job.pandaid),
+                    scheduler_.now(), failed, rt.job.error_code);
   }
   queues_.release_slot(rt.job.computing_site);
 

@@ -178,8 +178,16 @@ class PandaServer {
   /// workload generator's ids.
   JobId next_retry_id_ = 9'000'000'000;
 
-  /// Shared staging ledger: (file, site) -> jobs waiting on the transfer.
-  std::unordered_map<std::uint64_t, std::vector<JobId>> staging_waiters_;
+  /// Shared staging ledger: (file, site) -> the in-flight transfer and
+  /// the jobs waiting on it.  The transfer id lets a late joiner link
+  /// its causal flow to the transfer another job (or a task prefetch)
+  /// already started; 0 means no transfer exists (no-replica failures
+  /// resolve through the ledger without one).
+  struct StagingEntry {
+    std::uint64_t transfer_id = 0;
+    std::vector<JobId> waiters;
+  };
+  std::unordered_map<std::uint64_t, StagingEntry> staging_waiters_;
 };
 
 }  // namespace pandarus::wms

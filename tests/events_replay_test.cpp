@@ -13,12 +13,14 @@
 #include "analysis/bandwidth.hpp"
 #include "analysis/breakdown.hpp"
 #include "analysis/casestudy.hpp"
+#include "analysis/critical_path.hpp"
 #include "analysis/events_replay.hpp"
 #include "analysis/summary.hpp"
 #include "core/parallel_driver.hpp"
 #include "core/relaxed.hpp"
 #include "json_validator.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
@@ -291,6 +293,136 @@ TEST(EventsReplay, ReplayedStoreReproducesInMemoryAnalyses) {
                rep_cases.failed_spanning_case());
   compare_case(mem_cases.rm2_redundant_case(),
                rep_cases.rm2_redundant_case());
+}
+
+// --- flows ------------------------------------------------------------------
+
+// With a FlowTracker installed the NDJSON stream must be the flows-off
+// stream plus flow_* lines and nothing else: observers consume no
+// simulation RNG and carry simulated time only.
+TEST(EventsFlows, FlowsOnStreamIsFlowsOffStreamPlusFlowLines) {
+  scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+  config.days = 0.5;
+  config.seed = 20250401;
+
+  const auto run_once = [&config](bool flows) {
+    obs::Registry::global().reset_for_test();
+    obs::FlowTracker tracker;
+    if (flows) tracker.install();
+    obs::EventLog log;
+    log.install();
+    std::ignore = scenario::run_campaign(config);
+    log.uninstall();
+    if (flows) tracker.uninstall();
+    return log.to_ndjson();
+  };
+
+  const std::string off = run_once(false);
+  const std::string on = run_once(true);
+  ASSERT_GT(on.size(), off.size());
+
+  std::string stripped;
+  stripped.reserve(off.size());
+  std::size_t flow_lines = 0;
+  for (const std::string& line : split_lines(on)) {
+    if (line.find("\"kind\":\"flow_") != std::string::npos) {
+      ++flow_lines;
+      continue;
+    }
+    stripped += line;
+    stripped += '\n';
+  }
+  EXPECT_GT(flow_lines, 0u);
+  EXPECT_EQ(stripped, off);
+}
+
+// The offline rebuild engine IS the online analyzer (a detached
+// FlowTracker fed the captured rows in stream order), so a replayed
+// stream must reproduce the live tracker's analysis bit for bit.
+TEST(EventsFlows, RebuiltFlowsMatchLiveTrackerBitForBit) {
+  scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+  config.days = 0.5;
+  config.seed = 20250401;
+
+  obs::FlowTracker tracker;
+  tracker.install();
+  obs::EventLog log;
+  log.install();
+  const scenario::ScenarioResult result = scenario::run_campaign(config);
+  log.uninstall();
+  tracker.uninstall();
+
+  std::map<std::int64_t, std::string> names;
+  for (const grid::Site& s : result.topology.sites()) {
+    names[static_cast<std::int64_t>(s.id)] = s.name;
+  }
+  const analysis::FlowAnalysis live =
+      analysis::analyze_flows(tracker, names);
+
+  std::istringstream stream(log.to_ndjson());
+  const analysis::ReplayResult replay = analysis::replay_events(stream);
+  EXPECT_GT(replay.flow_events.size(), 0u);
+  const analysis::FlowAnalysis rebuilt = analysis::rebuild_flows(replay);
+
+  ASSERT_EQ(rebuilt.flows.size(), live.flows.size());
+  ASSERT_GT(live.flows.size(), 0u);
+  for (std::size_t i = 0; i < live.flows.size(); ++i) {
+    const obs::FlowSummary& a = live.flows[i];
+    const obs::FlowSummary& b = rebuilt.flows[i];
+    ASSERT_EQ(b.pandaid, a.pandaid);
+    ASSERT_EQ(b.taskid, a.taskid);
+    ASSERT_EQ(b.site, a.site);
+    ASSERT_EQ(b.attempt, a.attempt);
+    ASSERT_EQ(b.failed, a.failed);
+    ASSERT_EQ(b.error, a.error);
+    ASSERT_EQ(b.watchdog_release, a.watchdog_release);
+    ASSERT_EQ(b.shared_hits, a.shared_hits);
+    ASSERT_EQ(b.phases.broker_ms, a.phases.broker_ms);
+    ASSERT_EQ(b.phases.stage_in_ms, a.phases.stage_in_ms);
+    ASSERT_EQ(b.phases.queue_ms, a.phases.queue_ms);
+    ASSERT_EQ(b.phases.run_ms, a.phases.run_ms);
+    ASSERT_EQ(b.phases.stage_out_ms, a.phases.stage_out_ms);
+    ASSERT_EQ(b.phases.wall_ms, a.phases.wall_ms);
+    ASSERT_EQ(b.phases.stage_in_serialized_ms,
+              a.phases.stage_in_serialized_ms);
+    ASSERT_EQ(b.phases.stage_in_busy_ms, a.phases.stage_in_busy_ms);
+    ASSERT_EQ(b.phases.sequential_staging, a.phases.sequential_staging);
+    ASSERT_EQ(b.phases.stage_in_transfers, a.phases.stage_in_transfers);
+    ASSERT_EQ(b.phases.stage_in_attempts, a.phases.stage_in_attempts);
+    ASSERT_EQ(b.phases.reroutes, a.phases.reroutes);
+    ASSERT_EQ(b.phases.redundant_transfers, a.phases.redundant_transfers);
+    ASSERT_EQ(b.phases.unregistered, a.phases.unregistered);
+    ASSERT_EQ(b.link_shares.size(), a.link_shares.size());
+    for (std::size_t l = 0; l < a.link_shares.size(); ++l) {
+      ASSERT_EQ(b.link_shares[l].src, a.link_shares[l].src);
+      ASSERT_EQ(b.link_shares[l].dst, a.link_shares[l].dst);
+      ASSERT_EQ(b.link_shares[l].ms, a.link_shares[l].ms);
+    }
+  }
+
+  EXPECT_EQ(rebuilt.totals.flows, live.totals.flows);
+  EXPECT_EQ(rebuilt.totals.failed, live.totals.failed);
+  EXPECT_EQ(rebuilt.totals.sequential_staging,
+            live.totals.sequential_staging);
+  EXPECT_EQ(rebuilt.totals.redundant_transfers,
+            live.totals.redundant_transfers);
+  EXPECT_EQ(rebuilt.totals.watchdog_releases, live.totals.watchdog_releases);
+  EXPECT_EQ(rebuilt.totals.reroutes, live.totals.reroutes);
+
+  ASSERT_EQ(rebuilt.link_ranking.size(), live.link_ranking.size());
+  for (std::size_t i = 0; i < live.link_ranking.size(); ++i) {
+    EXPECT_EQ(rebuilt.link_ranking[i].src, live.link_ranking[i].src);
+    EXPECT_EQ(rebuilt.link_ranking[i].dst, live.link_ranking[i].dst);
+    EXPECT_EQ(rebuilt.link_ranking[i].critical_ms,
+              live.link_ranking[i].critical_ms);
+    EXPECT_EQ(rebuilt.link_ranking[i].flows, live.link_ranking[i].flows);
+  }
+
+  // Replay's site names come from the stream, so the rendered report
+  // and flamegraph stacks are byte-identical too.
+  EXPECT_EQ(rebuilt.collapsed, live.collapsed);
+  EXPECT_EQ(analysis::render_attribution(rebuilt),
+            analysis::render_attribution(live));
 }
 
 // --- harvest ----------------------------------------------------------------

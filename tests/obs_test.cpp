@@ -103,6 +103,82 @@ TEST(ObsSnapshot, SortedByNameAndMissingLookupsAreZero) {
   EXPECT_EQ(snap.gauge_value("does_not_exist"), 0);
 }
 
+// --- quantile sketches ------------------------------------------------------
+
+TEST(ObsQuantile, EmptySketchEstimatesZero) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q_empty", {1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  const obs::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p50, 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p99, 0.0);
+}
+
+TEST(ObsQuantile, OneSampleIsExactForEveryQuantile) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q_one", {100.0});
+  h.observe(42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 42.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 42.0);
+}
+
+TEST(ObsQuantile, TwoSamplesInterpolateLinearly) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q_two", {100.0});
+  // Insertion order must not matter: the exact path sorts.
+  h.observe(20.0);
+  h.observe(10.0);
+  // 0-based fractional rank q * (n - 1) over sorted {10, 20}.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 19.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 19.9);
+}
+
+TEST(ObsQuantile, UntrackedQuantileReturnsZero) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q_untracked", {100.0});
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 0.0);  // only p50/p95/p99 are sketched
+}
+
+TEST(ObsQuantile, MonotoneStreamStaysAccurate) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("q_stream", {1e9});
+  constexpr int kSamples = 10'000;
+  for (int i = 1; i <= kSamples; ++i) h.observe(static_cast<double>(i));
+  // P² on a uniform monotone stream should land within a few percent of
+  // the true order statistics.
+  EXPECT_NEAR(h.quantile(0.5), 5'000.0, 250.0);
+  EXPECT_NEAR(h.quantile(0.95), 9'500.0, 475.0);
+  EXPECT_NEAR(h.quantile(0.99), 9'900.0, 495.0);
+  // Estimates surface in both exporters.
+  const obs::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p50, h.quantile(0.5));
+  const std::string json = obs::export_json(snap);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const std::string prom = obs::export_prometheus(snap);
+  EXPECT_NE(prom.find("q_stream_p50 "), std::string::npos);
+  EXPECT_NE(prom.find("q_stream_p95 "), std::string::npos);
+  EXPECT_NE(prom.find("q_stream_p99 "), std::string::npos);
+}
+
+// --- timestamp contract -----------------------------------------------------
+
+TEST(ObsTime, MicrosMillisRoundTrip) {
+  EXPECT_EQ(obs::to_micros(0), 0);
+  EXPECT_EQ(obs::to_micros(3), 3000);
+  EXPECT_EQ(obs::to_micros(-2), -2000);
+  EXPECT_EQ(obs::to_millis(4500), 4);  // truncation toward zero
+  EXPECT_EQ(obs::to_millis(obs::to_micros(987'654)), 987'654);
+}
+
 // --- exporters ------------------------------------------------------------
 
 TEST(ObsExport, JsonParsesBack) {
