@@ -20,10 +20,15 @@ struct BenchRecord {
   std::string name;
   double wall_ms = 0.0;        ///< mean wall time per iteration
   double matched_jobs = -1.0;  ///< "matched_jobs" counter; -1 if absent
+  /// Any other user counters the run reported (rates already
+  /// time-normalized), e.g. the colstore benches' events_per_sec and
+  /// col_bytes_per_event.
+  std::vector<std::pair<std::string, double>> counters;
 };
 
 /// Writes records as JSON ({"benchmarks": [{name, wall_ms,
-/// matched_jobs}, ...]}); regression tooling diffs this across runs.
+/// matched_jobs, <counter>...}, ...]}); regression tooling diffs this
+/// across runs.
 inline bool write_bench_json(const std::string& path,
                              const std::vector<BenchRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -38,6 +43,9 @@ inline bool write_bench_json(const std::string& path,
                  i == 0 ? "" : ",", r.name.c_str(), r.wall_ms);
     if (r.matched_jobs >= 0.0) {
       std::fprintf(f, ", \"matched_jobs\": %.0f", r.matched_jobs);
+    }
+    for (const auto& [name, value] : r.counters) {
+      std::fprintf(f, ", \"%s\": %.6g", name.c_str(), value);
     }
     std::fputs("}", f);
   }

@@ -27,9 +27,12 @@ class CollectingReporter : public benchmark::ConsoleReporter {
         rec.wall_ms = run.real_accumulated_time /
                       static_cast<double>(run.iterations) * 1e3;
       }
-      const auto counter = run.counters.find("matched_jobs");
-      if (counter != run.counters.end()) {
-        rec.matched_jobs = counter->second.value;
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "matched_jobs") {
+          rec.matched_jobs = counter.value;
+        } else {
+          rec.counters.emplace_back(name, counter.value);
+        }
       }
       records_.push_back(std::move(rec));
     }
@@ -184,6 +187,134 @@ void BM_CampaignSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignSimulation)->Unit(benchmark::kMillisecond);
+
+// --- colstore: the ROADMAP's telemetry-at-scale path --------------------
+
+/// NDJSON event stream of a small recorded campaign, captured once.
+/// The process-wide log (PANDARUS_EVENTS/_COL hooks) is saved and
+/// restored around the recording so this bench never pollutes the
+/// env-armed stream CI replays and gates on.
+const std::string& recorded_ndjson() {
+  static const std::string text = [] {
+    obs::EventLog* prev = obs::EventLog::installed();
+    obs::EventLog log;
+    log.install();
+    scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+    config.days = 0.5;
+    config.seed = 7;
+    const auto result = scenario::run_campaign(config);
+    benchmark::DoNotOptimize(result.events_processed);
+    log.uninstall();
+    if (prev != nullptr) prev->install();
+    log.close();
+    return log.to_ndjson();
+  }();
+  return text;
+}
+
+std::uint64_t ndjson_line_count(const std::string& text) {
+  std::uint64_t n = 0;
+  for (const char c : text) n += c == '\n';
+  return n;
+}
+
+void BM_ColstoreEncode(benchmark::State& state) {
+  const std::string& text = recorded_ndjson();
+  const std::uint64_t events = ndjson_line_count(text);
+  const std::string path = "bench-colstore-encode.tmp";
+  std::uint64_t col_bytes = 0;
+  for (auto _ : state) {
+    obs::ColWriter writer(path);
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      writer.append_ndjson_line(
+          std::string_view(text).substr(start, nl - start));
+      start = nl + 1;
+    }
+    writer.close();
+    col_bytes = writer.stats().bytes_written;
+    benchmark::DoNotOptimize(col_bytes);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(events),
+      benchmark::Counter::kIsRate);
+  const auto per_event = [events](std::uint64_t bytes) {
+    return events != 0
+               ? static_cast<double>(bytes) / static_cast<double>(events)
+               : 0.0;
+  };
+  state.counters["col_bytes_per_event"] = per_event(col_bytes);
+  state.counters["ndjson_bytes_per_event"] = per_event(text.size());
+  state.counters["col_size_ratio"] =
+      text.empty() ? 0.0
+                   : static_cast<double>(col_bytes) /
+                         static_cast<double>(text.size());
+}
+BENCHMARK(BM_ColstoreEncode)->Unit(benchmark::kMillisecond);
+
+/// Encoded-once colstore file shared by the scan benches; removed by
+/// the last bench registration's teardown (process exit).
+const std::string& encoded_colstore() {
+  static const std::string path = [] {
+    const std::string p = "bench-colstore-scan.tmp";
+    obs::ColWriter writer(p);
+    const std::string& text = recorded_ndjson();
+    std::size_t start = 0;
+    while (start < text.size()) {
+      const std::size_t nl = text.find('\n', start);
+      writer.append_ndjson_line(
+          std::string_view(text).substr(start, nl - start));
+      start = nl + 1;
+    }
+    writer.close();
+    return p;
+  }();
+  return path;
+}
+
+void BM_ColstoreScan(benchmark::State& state) {
+  const std::string& path = encoded_colstore();
+  std::uint64_t rows = 0;
+  for (auto _ : state) {
+    obs::ColReader reader(path);
+    obs::DecodedEvent event;
+    rows = 0;
+    while (reader.next(event)) ++rows;
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(rows),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ColstoreScan)->Unit(benchmark::kMillisecond);
+
+void BM_ColstoreScanFiltered(benchmark::State& state) {
+  const std::string& path = encoded_colstore();
+  const std::uint64_t total = ndjson_line_count(recorded_ndjson());
+  std::uint64_t skipped = 0;
+  for (auto _ : state) {
+    obs::ColFilter filter;
+    filter.kinds = {"transfer_record"};
+    obs::ColReader reader(path, filter);
+    obs::DecodedEvent event;
+    std::uint64_t rows = 0;
+    while (reader.next(event)) ++rows;
+    skipped = reader.stats().chunks_skipped;
+    benchmark::DoNotOptimize(rows);
+  }
+  // Throughput counts the events the filter scanned *past*, which is
+  // what chunk skipping accelerates.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total));
+  state.counters["chunks_skipped"] = static_cast<double>(skipped);
+}
+BENCHMARK(BM_ColstoreScanFiltered)->Unit(benchmark::kMillisecond);
 
 void BM_SchedulerThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -8,9 +8,11 @@
 //   * rebuild_flows(replay)   — feed the flow/transfer lifecycle rows
 //     captured by analysis::replay_events, in stream order, to a
 //     detached (silent) FlowTracker.  Because the rebuild engine *is*
-//     the live analyzer, a replayed NDJSON stream yields bit-identical
-//     phase breakdowns, flags and link attributions — the cross-check
-//     test in tests/events_replay_test.cpp asserts exactly that.
+//     the live analyzer, a replayed stream — NDJSON text or a binary
+//     colstore file, both arrive through analysis::EventSource — yields
+//     bit-identical phase breakdowns, flags and link attributions; the
+//     cross-check test in tests/events_replay_test.cpp asserts exactly
+//     that.
 //
 // On top of the per-flow summaries this module computes exact per-phase
 // quantiles (the offline path can afford to sort; the online path uses

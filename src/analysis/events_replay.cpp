@@ -1,9 +1,9 @@
 #include "analysis/events_replay.hpp"
 
-#include <fstream>
 #include <istream>
 #include <string>
 
+#include "analysis/event_source.hpp"
 #include "util/json.hpp"
 #include "util/log.hpp"
 
@@ -136,17 +136,10 @@ std::string ReplayResult::site_name(grid::SiteId id) const {
                                 : "site-" + std::to_string(id);
 }
 
-ReplayResult replay_events(std::istream& in) {
+ReplayResult replay_events(EventSource& source) {
   ReplayResult result;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const auto parsed = util::json::parse(line);
-    if (!parsed || parsed->kind != util::json::Value::Kind::kObject) {
-      ++result.lines_skipped;
-      continue;
-    }
-    const util::json::Value& v = *parsed;
+  while (const util::json::Value* event = source.next()) {
+    const util::json::Value& v = *event;
     const std::string_view kind = v.get_string("kind");
     const util::json::Value* ts_field = v.find("ts");
     if (kind.empty() || ts_field == nullptr) {
@@ -182,6 +175,14 @@ ReplayResult replay_events(std::istream& in) {
       const auto id = static_cast<grid::SiteId>(entity);
       result.site_names[id] = std::string(v.get_string("name"));
       result.site_tiers[id] = static_cast<std::int32_t>(v.get_int("tier"));
+    } else if (kind == "log_stats") {
+      result.log_stats.present = true;
+      result.log_stats.events = static_cast<std::uint64_t>(
+          v.get_int("events"));
+      result.log_stats.dropped = static_cast<std::uint64_t>(
+          v.get_int("dropped"));
+      result.log_stats.bytes = static_cast<std::uint64_t>(
+          v.get_int("bytes"));
     } else if (kind == "campaign_meta") {
       result.seed = static_cast<std::uint64_t>(v.get_int("seed"));
       result.days = v.get_double("days");
@@ -222,16 +223,25 @@ ReplayResult replay_events(std::istream& in) {
       capture_flow_event(kind, v, ts, entity, result.flow_events);
     }
   }
+  result.lines_skipped += source.skipped();
+  if (const std::string err = source.error(); !err.empty()) {
+    util::log_warning() << "events replay: source stopped early: " << err;
+  }
   return result;
 }
 
+ReplayResult replay_events(std::istream& in) {
+  const auto source = make_ndjson_source(in);
+  return replay_events(*source);
+}
+
 ReplayResult replay_events_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
+  const auto source = open_event_source(path);
+  if (!source) {
     util::log_warning() << "events replay: cannot open " << path;
     return {};
   }
-  return replay_events(in);
+  return replay_events(*source);
 }
 
 }  // namespace pandarus::analysis

@@ -27,6 +27,8 @@
 
 namespace pandarus::analysis {
 
+class EventSource;
+
 struct ReplayResult {
   /// Rebuilt from the harvest events; empty if the stream held none.
   telemetry::MetadataStore store;
@@ -120,6 +122,18 @@ struct ReplayResult {
   };
   std::vector<FlowEventRow> flow_events;
 
+  /// The terminal log_stats event the EventLog appends on close():
+  /// what the producing process actually wrote and dropped.  A nonzero
+  /// `dropped` means the stream is truncated by max_events and every
+  /// downstream count is a floor, not a total.
+  struct LogStats {
+    bool present = false;
+    std::uint64_t events = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes = 0;
+  };
+  LogStats log_stats;
+
   /// Every event kind seen, with its line count (sorted by kind).
   std::map<std::string, std::size_t> kind_counts;
   std::size_t lines_parsed = 0;
@@ -128,12 +142,17 @@ struct ReplayResult {
   [[nodiscard]] std::string site_name(grid::SiteId id) const;
 };
 
-/// Parses one event per line; malformed lines are counted and skipped,
-/// never fatal (a truncated tail must not lose the whole stream).
+/// Replays any event source (NDJSON or colstore) with bounded memory;
+/// malformed events are counted and skipped, never fatal (a truncated
+/// tail must not lose the whole stream).
+ReplayResult replay_events(EventSource& source);
+
+/// Line-streaming NDJSON convenience wrapper over the same replay.
 ReplayResult replay_events(std::istream& in);
 
-/// Convenience file wrapper; returns a result with lines_parsed == 0 and
-/// a warning log when the file cannot be opened.
+/// Opens `path` via open_event_source (format sniffed: colstore magic
+/// or NDJSON text) and replays it; returns a result with lines_parsed
+/// == 0 and a warning log when the file cannot be opened.
 ReplayResult replay_events_file(const std::string& path);
 
 }  // namespace pandarus::analysis

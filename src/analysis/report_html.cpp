@@ -90,7 +90,21 @@ void write_meta_section(std::ostream& os, const ReplayResult& replay) {
      << counts.files << " file rows, " << counts.transfers << " transfers ("
      << counts.transfers_with_taskid << " with taskid)</td></tr>"
      << "<tr><th>event lines</th><td>" << replay.lines_parsed << " parsed, "
-     << replay.lines_skipped << " skipped</td></tr></table>";
+     << replay.lines_skipped << " skipped</td></tr>";
+  if (replay.log_stats.present) {
+    os << "<tr><th>event log</th><td>" << replay.log_stats.events
+       << " events, " << replay.log_stats.bytes << " bytes";
+    if (replay.log_stats.dropped > 0) {
+      os << " <span style=\"color:#b00;font-weight:bold\">("
+         << replay.log_stats.dropped
+         << " events dropped — stream truncated by max_events; every "
+            "count below is a floor)</span>";
+    } else {
+      os << ", 0 dropped";
+    }
+    os << "</td></tr>";
+  }
+  os << "</table>";
 
   os << "<h3>Event kinds</h3><table><tr><th>kind</th><th>events</th></tr>";
   for (const auto& [kind, n] : replay.kind_counts) {

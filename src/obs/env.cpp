@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/colstore.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
 #include "obs/metrics.hpp"
@@ -16,6 +17,7 @@ namespace {
 std::string g_metrics_path;
 std::string g_trace_path;
 std::string g_events_path;
+std::string g_events_col_path;
 std::string g_flows_path;
 TraceRecorder* g_env_recorder = nullptr;
 EventLog* g_env_event_log = nullptr;
@@ -47,7 +49,14 @@ void dump_at_exit() {
     g_env_recorder->write_chrome_trace(g_trace_path);
   }
   if (g_env_event_log != nullptr) {
-    g_env_event_log->write_ndjson(g_events_path);
+    // Terminal log_stats line first, so both sinks carry it.
+    g_env_event_log->close();
+    if (!g_events_path.empty()) {
+      g_env_event_log->write_ndjson(g_events_path);
+    }
+    if (!g_events_col_path.empty()) {
+      write_colstore(*g_env_event_log, g_events_col_path);
+    }
   }
   if (g_env_flow_tracker != nullptr && !g_flows_path.empty()) {
     g_env_flow_tracker->write_collapsed(g_flows_path);
@@ -58,9 +67,10 @@ bool install_once() {
   const char* metrics = std::getenv("PANDARUS_METRICS");
   const char* trace = std::getenv("PANDARUS_TRACE");
   const char* events = std::getenv("PANDARUS_EVENTS");
+  const char* events_col = std::getenv("PANDARUS_EVENTS_COL");
   const char* flows = std::getenv("PANDARUS_FLOWS");
   if (metrics == nullptr && trace == nullptr && events == nullptr &&
-      flows == nullptr) {
+      events_col == nullptr && flows == nullptr) {
     return false;
   }
   if (metrics != nullptr) g_metrics_path = metrics;
@@ -71,9 +81,11 @@ bool install_once() {
     g_env_recorder = new TraceRecorder();
     g_env_recorder->install();
   }
-  if (events != nullptr) {
-    g_events_path = events;
-    // Leaked for the same reason as the trace recorder.
+  if (events != nullptr) g_events_path = events;
+  if (events_col != nullptr) g_events_col_path = events_col;
+  if (events != nullptr || events_col != nullptr) {
+    // One log feeds both sinks.  Leaked for the same reason as the
+    // trace recorder.
     g_env_event_log = new EventLog();
     g_env_event_log->install();
   }

@@ -9,6 +9,15 @@
 //                            and write the NDJSON event stream at exit
 //                            (consumed offline by pandarus-report and
 //                            analysis::replay_events);
+//   PANDARUS_EVENTS_COL=<path>
+//                            same EventLog, written at exit as a
+//                            chunk-compressed columnar .colstore file
+//                            (obs::colstore; query with pandarus-events).
+//                            Combine with PANDARUS_EVENTS to write both
+//                            sinks from one stream; either alone also
+//                            arms the log.  The exit dump closes the
+//                            log first, appending a terminal log_stats
+//                            event (events written/dropped/bytes);
 //   PANDARUS_FLOWS=<path>    install a process-lifetime FlowTracker now
 //                            (flow_* events appear in the EventLog
 //                            stream, flow lanes in the Chrome trace) and

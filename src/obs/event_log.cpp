@@ -15,7 +15,11 @@ std::uint64_t next_log_id() noexcept {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
-void append_escaped(std::string& out, std::string_view s) {
+}  // namespace
+
+namespace detail {
+
+void append_json_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -34,7 +38,7 @@ void append_escaped(std::string& out, std::string_view s) {
   }
 }
 
-void append_double(std::string& out, double v) {
+void append_json_double(std::string& out, double v) {
   if (!std::isfinite(v)) {
     out += '0';
     return;
@@ -44,6 +48,11 @@ void append_double(std::string& out, double v) {
   out += buf;
 }
 
+}  // namespace detail
+
+namespace {
+using detail::append_json_double;
+using detail::append_json_escaped;
 }  // namespace
 
 // --- Event ------------------------------------------------------------------
@@ -53,7 +62,7 @@ Event::Event(std::string_view kind, std::int64_t ts, std::int64_t entity) {
   line_ += "{\"ts\":";
   line_ += std::to_string(ts);
   line_ += ",\"kind\":\"";
-  append_escaped(line_, kind);
+  append_json_escaped(line_, kind);
   line_ += "\",\"entity\":";
   line_ += std::to_string(entity);
 }
@@ -63,15 +72,15 @@ Event::Event(std::string_view kind, std::int64_t ts, std::string_view entity) {
   line_ += "{\"ts\":";
   line_ += std::to_string(ts);
   line_ += ",\"kind\":\"";
-  append_escaped(line_, kind);
+  append_json_escaped(line_, kind);
   line_ += "\",\"entity\":\"";
-  append_escaped(line_, entity);
+  append_json_escaped(line_, entity);
   line_ += '"';
 }
 
 void Event::append_key(std::string_view key) {
   line_ += ",\"";
-  append_escaped(line_, key);
+  append_json_escaped(line_, key);
   line_ += "\":";
 }
 
@@ -97,7 +106,7 @@ Event&& Event::field(std::string_view key, std::uint32_t v) && {
 
 Event&& Event::field(std::string_view key, double v) && {
   append_key(key);
-  append_double(line_, v);
+  append_json_double(line_, v);
   return std::move(*this);
 }
 
@@ -110,7 +119,7 @@ Event&& Event::field(std::string_view key, bool v) && {
 Event&& Event::field(std::string_view key, std::string_view v) && {
   append_key(key);
   line_ += '"';
-  append_escaped(line_, v);
+  append_json_escaped(line_, v);
   line_ += '"';
   return std::move(*this);
 }
@@ -164,6 +173,7 @@ void EventLog::emit(Event event) {
     return;
   }
   event.line_ += '}';
+  bytes_.fetch_add(event.line_.size() + 1, std::memory_order_relaxed);
   Buffer& buffer = local_buffer();
   buffer.staged.push_back(
       {next_seq_.fetch_add(1, std::memory_order_relaxed),
@@ -175,6 +185,27 @@ void EventLog::emit(Event event) {
                     std::make_move_iterator(buffer.staged.end()));
     buffer.staged.clear();
   }
+}
+
+void EventLog::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // Snapshot first: the stats line describes the stream before itself.
+  const std::uint64_t events = events_written();
+  const std::uint64_t drops = dropped();
+  const std::uint64_t bytes = bytes_written();
+  // The terminal line must survive max_events truncation (that is the
+  // condition it exists to report), so it bypasses emit()'s bound and
+  // goes straight into the central sink.
+  Event event = Event("log_stats", 0, std::int64_t{0})
+                    .field("events", events)
+                    .field("dropped", drops)
+                    .field("bytes", bytes);
+  event.line_ += '}';
+  bytes_.fetch_add(event.line_.size() + 1, std::memory_order_relaxed);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lock(mutex_);
+  drained_.push_back({next_seq_.fetch_add(1, std::memory_order_relaxed),
+                      std::move(event.line_)});
 }
 
 std::size_t EventLog::event_count() const {
@@ -203,6 +234,20 @@ std::string EventLog::to_ndjson() const {
     out += '\n';
   }
   return out;
+}
+
+void EventLog::for_each_line(
+    const std::function<void(std::string_view)>& fn) const {
+  std::scoped_lock lock(mutex_);
+  std::vector<const Line*> lines;
+  lines.reserve(drained_.size());
+  for (const Line& l : drained_) lines.push_back(&l);
+  for (const auto& buffer : buffers_) {
+    for (const Line& l : buffer->staged) lines.push_back(&l);
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line* a, const Line* b) { return a->seq < b->seq; });
+  for (const Line* l : lines) fn(l->text);
 }
 
 bool EventLog::write_ndjson(const std::string& path) const {

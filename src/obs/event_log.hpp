@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,14 @@
 #include <vector>
 
 namespace pandarus::obs {
+
+namespace detail {
+/// JSON string escaping exactly as the Event builder renders it; shared
+/// with the colstore re-renderer so both sinks produce identical bytes.
+void append_json_escaped(std::string& out, std::string_view s);
+/// Finite, round-trippable double rendering (%.17g; non-finite → 0).
+void append_json_double(std::string& out, double v);
+}  // namespace detail
 
 /// Builder for one event line.  The constructor writes the common
 /// prefix (`ts`, `kind`, `entity`); field() appends one key/value pair
@@ -85,9 +94,24 @@ class EventLog {
   /// buffer (draining to the central sink when the buffer fills).
   void emit(Event event);
 
+  /// Finalizes the stream: appends one terminal `log_stats` event
+  /// (events written, dropped, bytes — describing the stream *before*
+  /// this line) so silent max_events truncation is visible in replay
+  /// and reports.  The stats line bypasses the max_events bound.
+  /// Idempotent; call once emitters have quiesced.
+  void close();
+
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::uint64_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Events accepted into the stream so far (excludes dropped).
+  [[nodiscard]] std::uint64_t events_written() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// NDJSON bytes the accepted events serialize to (incl. newlines).
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
   }
 
   /// The full stream as NDJSON, lines ordered by emission sequence
@@ -96,6 +120,12 @@ class EventLog {
   /// Writes to_ndjson() to `path`; false (with a warning logged) on I/O
   /// failure.
   bool write_ndjson(const std::string& path) const;
+
+  /// Visits every line (without trailing '\n') in emission-sequence
+  /// order under the log's lock — the streaming sibling of to_ndjson()
+  /// used by the colstore sink.  Same quiescence contract.
+  void for_each_line(
+      const std::function<void(std::string_view)>& fn) const;
 
  private:
   struct Line {
@@ -117,7 +147,9 @@ class EventLog {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> bytes_{0};
   std::atomic<bool> warned_dropped_{false};
+  std::atomic<bool> closed_{false};
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Buffer>> buffers_;
   std::vector<Line> drained_;  ///< MPSC sink fed by full staging buffers

@@ -21,6 +21,7 @@
 #include "analysis/breakdown.hpp"
 #include "analysis/casestudy.hpp"
 #include "analysis/critical_path.hpp"
+#include "analysis/event_source.hpp"
 #include "analysis/events_replay.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/imbalance.hpp"
@@ -51,6 +52,7 @@
 #include "grid/load_model.hpp"
 #include "grid/site.hpp"
 #include "grid/topology.hpp"
+#include "obs/colstore.hpp"
 #include "obs/env.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
