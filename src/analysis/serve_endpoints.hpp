@@ -1,0 +1,43 @@
+// JSON bodies for the obs::serve /api/* endpoints.  The server itself
+// (obs::StatusServer) sits below analysis in the module layering and
+// cannot see matchers or replay — this module closes the loop by
+// registering providers through StatusServer::set_json_endpoint:
+//
+//   /api/summary        §5.1 headline numbers + matched counts for all
+//                       three methods (the CI gate reads exact/rm1/rm2
+//                       matched_jobs here)
+//   /api/tables         Table 1 (activity breakdown) and Tables 2a/2b
+//   /api/series         the obs::Sampler columnar time series
+//   /api/critical-path  per-link critical-seconds ranking
+//
+// Live mode reads the installed EventLog's *published prefix* only
+// (EventLog::snapshot_ndjson), replays it into a fresh store, runs the
+// matchers, and memoizes all bodies keyed by the publication watermark
+// — a scrape never blocks the sim thread and two scrapes at one
+// watermark cost one replay.  Matching runs only once harvest records
+// exist (the store stays empty mid-campaign), so scrapes during the
+// simulation cannot perturb the sampled matcher counters and the
+// campaign NDJSON stays byte-identical server on or off.
+#pragma once
+
+#include <memory>
+
+namespace pandarus::obs {
+class StatusServer;
+}
+
+namespace pandarus::analysis {
+
+struct ReplayResult;
+
+/// Registers the live /api endpoints on `server`, computing from the
+/// installed EventLog and FlowTracker.  scenario::run_campaign calls
+/// this automatically when a StatusServer is installed.
+void attach_live_status(obs::StatusServer& server);
+
+/// Registers the same endpoints precomputed from a finished replay
+/// (`pandarus-serve --replay <file>`): bodies are built once here.
+void attach_replay_status(obs::StatusServer& server,
+                          std::shared_ptr<const ReplayResult> replay);
+
+}  // namespace pandarus::analysis

@@ -8,6 +8,8 @@
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
+#include "obs/serve.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -22,6 +24,7 @@ std::string g_flows_path;
 TraceRecorder* g_env_recorder = nullptr;
 EventLog* g_env_event_log = nullptr;
 FlowTracker* g_env_flow_tracker = nullptr;
+StatusServer* g_env_status_server = nullptr;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -40,6 +43,12 @@ void write_text_file(const std::string& path, const std::string& text) {
 }
 
 void dump_at_exit() {
+  // The server goes first: once stopped, no scrape can race the close/
+  // dump sequence below.
+  if (g_env_status_server != nullptr) {
+    g_env_status_server->stop();
+    sample_process_metrics();  // final values for the metrics dump
+  }
   if (!g_metrics_path.empty()) {
     write_text_file(g_metrics_path, ends_with(g_metrics_path, ".prom")
                                         ? export_prometheus()
@@ -51,6 +60,10 @@ void dump_at_exit() {
   if (g_env_event_log != nullptr) {
     // Terminal log_stats line first, so both sinks carry it.
     g_env_event_log->close();
+    // The periodic flusher (if armed) has appended the published
+    // prefix; the rewrite below produces identical bytes plus whatever
+    // the final publish added, so both paths end at the same file.
+    g_env_event_log->stop_periodic_flush();
     if (!g_events_path.empty()) {
       g_env_event_log->write_ndjson(g_events_path);
     }
@@ -69,8 +82,9 @@ bool install_once() {
   const char* events = std::getenv("PANDARUS_EVENTS");
   const char* events_col = std::getenv("PANDARUS_EVENTS_COL");
   const char* flows = std::getenv("PANDARUS_FLOWS");
+  const char* serve = std::getenv("PANDARUS_SERVE");
   if (metrics == nullptr && trace == nullptr && events == nullptr &&
-      events_col == nullptr && flows == nullptr) {
+      events_col == nullptr && flows == nullptr && serve == nullptr) {
     return false;
   }
   if (metrics != nullptr) g_metrics_path = metrics;
@@ -88,6 +102,15 @@ bool install_once() {
     // trace recorder.
     g_env_event_log = new EventLog();
     g_env_event_log->install();
+    // Periodic incremental flush of the published prefix (default off;
+    // needs an NDJSON path to flush into).
+    if (const char* flush_ms = std::getenv("PANDARUS_EVENTS_FLUSH_MS");
+        flush_ms != nullptr && !g_events_path.empty()) {
+      const int interval = std::atoi(flush_ms);
+      if (interval > 0) {
+        g_env_event_log->start_periodic_flush(g_events_path, interval);
+      }
+    }
   }
   if (flows != nullptr) {
     // The value is the collapsed-stack dump path ("" arms the tracker
@@ -96,6 +119,19 @@ bool install_once() {
     g_flows_path = flows;
     g_env_flow_tracker = new FlowTracker();
     g_env_flow_tracker->install();
+  }
+  if (serve != nullptr) {
+    // Leaked like the others; dump_at_exit stops it before any dump
+    // runs.  Port 0 binds an ephemeral port (logged by start()).
+    const int port = std::atoi(serve);
+    StatusServer::Options options;
+    options.port = static_cast<std::uint16_t>(
+        port > 0 && port <= 65535 ? port : 0);
+    g_env_status_server = new StatusServer(options);
+    register_process_metrics();
+    if (g_env_status_server->start()) {
+      g_env_status_server->install();
+    }
   }
   std::atexit(dump_at_exit);
   return true;

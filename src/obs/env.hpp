@@ -22,7 +22,26 @@
 //                            (flow_* events appear in the EventLog
 //                            stream, flow lanes in the Chrome trace) and
 //                            write flamegraph collapsed stacks to <path>
-//                            at exit (empty value: track, no dump).
+//                            at exit (empty value: track, no dump);
+//   PANDARUS_SERVE=<port>    install a process-lifetime StatusServer on
+//                            127.0.0.1:<port> (0 picks an ephemeral
+//                            port, logged at startup): GET /metrics
+//                            Prometheus scrape, /healthz, /api/* JSON
+//                            (attached by scenario::run_campaign),
+//                            /events/stream SSE, and an HTML status
+//                            page at /.  Also registers the
+//                            pandarus_build_info and process gauges.
+//                            The server stops before the exit dumps so
+//                            in-flight scrapes quiesce first;
+//   PANDARUS_EVENTS_FLUSH_MS=<ms>
+//                            with PANDARUS_EVENTS: append newly
+//                            *published* event lines to the NDJSON file
+//                            every <ms> milliseconds, so tail -f and
+//                            SSE consumers see data before close().
+//                            Default off — without it the file is
+//                            written once at exit.  The exit dump still
+//                            rewrites the complete stream, so the final
+//                            bytes are identical either way.
 //
 // One call near the start of main() is enough; binaries need no other
 // per-binary wiring.

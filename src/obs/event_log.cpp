@@ -1,8 +1,10 @@
 #include "obs/event_log.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 
 #include "util/log.hpp"
 
@@ -135,7 +137,10 @@ std::atomic<EventLog*> EventLog::g_installed{nullptr};
 EventLog::EventLog(std::size_t max_events)
     : id_(next_log_id()), max_events_(max_events) {}
 
-EventLog::~EventLog() { uninstall(); }
+EventLog::~EventLog() {
+  stop_periodic_flush();
+  uninstall();
+}
 
 void EventLog::install() noexcept {
   g_installed.store(this, std::memory_order_release);
@@ -180,11 +185,63 @@ void EventLog::emit(Event event) {
        std::move(event.line_)});
   if (buffer.staged.size() >= kDrainBatch) {
     std::scoped_lock lock(mutex_);
-    drained_.insert(drained_.end(),
-                    std::make_move_iterator(buffer.staged.begin()),
-                    std::make_move_iterator(buffer.staged.end()));
-    buffer.staged.clear();
+    drain_locked(buffer);
   }
+}
+
+void EventLog::note_drained_locked(std::uint64_t seq) {
+  if (seq == watermark_) {
+    ++watermark_;
+    while (!ahead_.empty() && ahead_.front() == watermark_) {
+      std::pop_heap(ahead_.begin(), ahead_.end(), std::greater<>());
+      ahead_.pop_back();
+      ++watermark_;
+    }
+  } else {
+    ahead_.push_back(seq);
+    std::push_heap(ahead_.begin(), ahead_.end(), std::greater<>());
+  }
+}
+
+void EventLog::drain_locked(Buffer& buffer) {
+  for (Line& line : buffer.staged) {
+    note_drained_locked(line.seq);
+    drained_.push_back(std::move(line));
+  }
+  buffer.staged.clear();
+}
+
+std::uint64_t EventLog::publish() {
+  Buffer& buffer = local_buffer();
+  std::scoped_lock lock(mutex_);
+  drain_locked(buffer);
+  return watermark_;
+}
+
+std::uint64_t EventLog::watermark() const {
+  std::scoped_lock lock(mutex_);
+  return watermark_;
+}
+
+std::uint64_t EventLog::snapshot_ndjson(std::string& out,
+                                        std::uint64_t from_seq) const {
+  std::scoped_lock lock(mutex_);
+  if (from_seq >= watermark_) return watermark_;
+  std::vector<const Line*> lines;
+  lines.reserve(static_cast<std::size_t>(watermark_ - from_seq));
+  for (const Line& l : drained_) {
+    if (l.seq >= from_seq && l.seq < watermark_) lines.push_back(&l);
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line* a, const Line* b) { return a->seq < b->seq; });
+  std::size_t total = 0;
+  for (const Line* l : lines) total += l->text.size() + 1;
+  out.reserve(out.size() + total);
+  for (const Line* l : lines) {
+    out += l->text;
+    out += '\n';
+  }
+  return watermark_;
 }
 
 void EventLog::close() {
@@ -204,8 +261,13 @@ void EventLog::close() {
   bytes_.fetch_add(event.line_.size() + 1, std::memory_order_relaxed);
   accepted_.fetch_add(1, std::memory_order_relaxed);
   std::scoped_lock lock(mutex_);
-  drained_.push_back({next_seq_.fetch_add(1, std::memory_order_relaxed),
-                      std::move(event.line_)});
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  note_drained_locked(seq);
+  drained_.push_back({seq, std::move(event.line_)});
+  // Emitters have quiesced (close's contract), so every remaining
+  // staged line can be drained here — the publication watermark then
+  // covers the whole stream and snapshot readers see it all.
+  for (const auto& buffer : buffers_) drain_locked(*buffer);
 }
 
 std::size_t EventLog::event_count() const {
@@ -248,6 +310,55 @@ void EventLog::for_each_line(
   std::sort(lines.begin(), lines.end(),
             [](const Line* a, const Line* b) { return a->seq < b->seq; });
   for (const Line* l : lines) fn(l->text);
+}
+
+bool EventLog::start_periodic_flush(const std::string& path,
+                                    int interval_ms) {
+  if (interval_ms <= 0) return false;
+  std::scoped_lock lock(flush_mutex_);
+  if (flush_thread_.joinable()) return false;  // already running
+  flush_file_ = std::fopen(path.c_str(), "w");
+  if (flush_file_ == nullptr) {
+    util::log_line(util::LogLevel::kWarning,
+                   "obs: cannot open event flush file " + path);
+    return false;
+  }
+  flush_stop_ = false;
+  flush_cursor_ = 0;
+  flush_thread_ = std::thread([this, interval_ms] { flush_loop(interval_ms); });
+  return true;
+}
+
+void EventLog::flush_once() {
+  // flush_mutex_ held (serializes cursor/file against stop).
+  std::string chunk;
+  flush_cursor_ = snapshot_ndjson(chunk, flush_cursor_);
+  if (chunk.empty()) return;
+  std::fwrite(chunk.data(), 1, chunk.size(), flush_file_);
+  std::fflush(flush_file_);
+}
+
+void EventLog::flush_loop(int interval_ms) {
+  std::unique_lock lock(flush_mutex_);
+  while (!flush_stop_) {
+    flush_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                       [this] { return flush_stop_; });
+    flush_once();
+  }
+}
+
+void EventLog::stop_periodic_flush() {
+  {
+    std::scoped_lock lock(flush_mutex_);
+    if (!flush_thread_.joinable()) return;
+    flush_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  flush_thread_.join();
+  std::scoped_lock lock(flush_mutex_);
+  flush_once();  // the thread's last pass may predate close()
+  std::fclose(flush_file_);
+  flush_file_ = nullptr;
 }
 
 bool EventLog::write_ndjson(const std::string& path) const {

@@ -27,12 +27,15 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 namespace pandarus::obs {
@@ -98,8 +101,57 @@ class EventLog {
   /// (events written, dropped, bytes — describing the stream *before*
   /// this line) so silent max_events truncation is visible in replay
   /// and reports.  The stats line bypasses the max_events bound.
-  /// Idempotent; call once emitters have quiesced.
+  /// Also drains every staging buffer into the central sink (emitters
+  /// have quiesced by contract), so the publication watermark reaches
+  /// the end of the stream.  Idempotent; call once emitters have
+  /// quiesced.
   void close();
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  // --- snapshot isolation ---------------------------------------------------
+  // Concurrent readers (obs::serve) must never touch staging buffers —
+  // those are owned by their emitting threads.  Instead they read the
+  // *published prefix*: the set of lines whose sequence numbers form a
+  // contiguous range [0, watermark()) inside the central sink.  Owning
+  // threads move their staged lines into the sink by filling a batch
+  // (kDrainBatch) or by calling publish() at a quiescent point (the
+  // campaign loop publishes at every simulated-day boundary and after
+  // the harvest).  A reader holding a watermark therefore sees a
+  // consistent, gap-free prefix of the stream without ever blocking an
+  // emitter for more than the sink mutex.
+
+  /// Drains the calling thread's staging buffer into the central sink
+  /// and returns the new publication watermark.  Cheap when the buffer
+  /// is empty; call from the emitting thread only.
+  std::uint64_t publish();
+
+  /// One past the highest sequence number of the contiguous published
+  /// prefix.  Every line with seq < watermark() is in the central sink
+  /// and immutable; snapshot readers key their memoization off this.
+  [[nodiscard]] std::uint64_t watermark() const;
+
+  /// Appends the published lines with seq in [from_seq, watermark())
+  /// to `out` as NDJSON in sequence order and returns the watermark
+  /// used as the exclusive bound.  Safe concurrently with emitters —
+  /// only the central sink is read.  Pass the returned value back as
+  /// `from_seq` to stream the log incrementally.
+  std::uint64_t snapshot_ndjson(std::string& out,
+                                std::uint64_t from_seq = 0) const;
+
+  /// Starts a background thread appending newly published lines to
+  /// `path` every `interval_ms` (the PANDARUS_EVENTS_FLUSH_MS knob), so
+  /// `tail -f` and SSE consumers see events before close().  The file
+  /// is truncated on start; only *published* lines are flushed, so the
+  /// producer must publish() (or fill drain batches) for data to
+  /// appear.  Default-off: without this call nothing is written until
+  /// the final write_ndjson().  False when the file cannot be opened or
+  /// a flusher is already running.
+  bool start_periodic_flush(const std::string& path, int interval_ms);
+  /// Stops the flush thread after one final flush (call after close()
+  /// and the file holds the complete stream).  Idempotent.
+  void stop_periodic_flush();
 
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::uint64_t dropped() const noexcept {
@@ -139,6 +191,12 @@ class EventLog {
   static constexpr std::size_t kDrainBatch = 1024;
 
   Buffer& local_buffer();
+  /// Moves `buffer`'s staged lines into drained_; mutex_ held.
+  void drain_locked(Buffer& buffer);
+  /// Accounts one drained seq into the watermark; mutex_ held.
+  void note_drained_locked(std::uint64_t seq);
+  void flush_loop(int interval_ms);
+  void flush_once();
 
   static std::atomic<EventLog*> g_installed;
 
@@ -153,6 +211,20 @@ class EventLog {
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Buffer>> buffers_;
   std::vector<Line> drained_;  ///< MPSC sink fed by full staging buffers
+
+  // Publication watermark (guarded by mutex_): drained lines with seq
+  // >= watermark_ wait in ahead_ (a min-heap) until the gap below them
+  // is drained too.
+  std::uint64_t watermark_ = 0;
+  std::vector<std::uint64_t> ahead_;
+
+  // Periodic flusher (PANDARUS_EVENTS_FLUSH_MS).
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  std::thread flush_thread_;
+  std::FILE* flush_file_ = nullptr;
+  std::uint64_t flush_cursor_ = 0;
+  bool flush_stop_ = false;
 };
 
 }  // namespace pandarus::obs

@@ -371,11 +371,36 @@ std::string export_json(const Snapshot& snapshot) {
 }
 
 std::string export_prometheus(const Snapshot& snapshot) {
+  // Exposition-format rules enforced here: a *family* is the metric
+  // name up to the first '{' (labelled metrics like
+  // pandarus_build_info{version="..."} register one gauge per label
+  // set, all in the same family), and every family gets exactly one
+  // # HELP and one # TYPE line, emitted before its first sample.
+  // Snapshots are sorted by name, so samples of one family are
+  // contiguous and a seen-set is enough to dedupe.
   std::string out;
-  const auto header = [&out](const std::string& name, const std::string& help,
-                             const char* type) {
-    if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
-    out += "# TYPE " + name + " " + std::string(type) + "\n";
+  std::vector<std::string> seen;
+  const auto header = [&out, &seen](const std::string& name,
+                                    const std::string& help,
+                                    const char* type) {
+    const std::string family = name.substr(0, name.find('{'));
+    if (std::find(seen.begin(), seen.end(), family) != seen.end()) return;
+    seen.push_back(family);
+    out += "# HELP " + family;
+    if (!help.empty()) {
+      out += ' ';
+      // HELP docstrings escape backslash and newline per the format.
+      for (const char c : help) {
+        if (c == '\\') {
+          out += "\\\\";
+        } else if (c == '\n') {
+          out += "\\n";
+        } else {
+          out += c;
+        }
+      }
+    }
+    out += "\n# TYPE " + family + " " + std::string(type) + "\n";
   };
   for (const auto& c : snapshot.counters) {
     header(c.name, c.help, "counter");
@@ -402,12 +427,13 @@ std::string export_prometheus(const Snapshot& snapshot) {
     // families: a `{quantile=...}` label on the histogram family name
     // itself would collide with the histogram TYPE declaration under
     // strict exposition-format parsers.
-    out += "# TYPE " + h.name + "_p50 gauge\n";
-    out += h.name + "_p50 " + format_double(h.p50) + "\n";
-    out += "# TYPE " + h.name + "_p95 gauge\n";
-    out += h.name + "_p95 " + format_double(h.p95) + "\n";
-    out += "# TYPE " + h.name + "_p99 gauge\n";
-    out += h.name + "_p99 " + format_double(h.p99) + "\n";
+    const auto quantile = [&](const char* suffix, double value) {
+      header(h.name + suffix, "P2 streaming quantile of " + h.name, "gauge");
+      out += h.name + suffix + " " + format_double(value) + "\n";
+    };
+    quantile("_p50", h.p50);
+    quantile("_p95", h.p95);
+    quantile("_p99", h.p99);
   }
   return out;
 }

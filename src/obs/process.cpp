@@ -1,0 +1,132 @@
+#include "obs/process.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#ifdef __linux__
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.hpp"
+
+namespace pandarus::obs {
+namespace {
+
+#define PANDARUS_STR_INNER(x) #x
+#define PANDARUS_STR(x) PANDARUS_STR_INNER(x)
+
+std::chrono::steady_clock::time_point process_start() {
+  // First caller pins the reference; register_process_metrics runs at
+  // startup so this is process start for all practical purposes.
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+std::int64_t resident_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long total = 0;
+  long long resident = 0;
+  const int n = std::fscanf(f, "%lld %lld", &total, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::int64_t>(resident) *
+         static_cast<std::int64_t>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+std::int64_t open_fds() {
+#ifdef __linux__
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::int64_t count = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count;
+#else
+  return 0;
+#endif
+}
+
+/// Label values go inside double quotes in the metric name; escape per
+/// the exposition format.
+std::string label_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '\\' || *s == '"') out += '\\';
+    if (*s == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += *s;
+  }
+  return out;
+}
+
+std::string build_info_name() {
+  return std::string("pandarus_build_info{version=\"") +
+         label_escape(build_version()) + "\",compiler=\"" +
+         label_escape(build_compiler()) + "\"}";
+}
+
+}  // namespace
+
+const char* build_version() noexcept {
+#ifdef PANDARUS_VERSION
+  return PANDARUS_STR(PANDARUS_VERSION);
+#else
+  return "dev";
+#endif
+}
+
+const char* build_compiler() noexcept {
+#if defined(__clang__)
+  return __VERSION__;  // clang's string already names the compiler
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+void register_process_metrics(Registry& registry) {
+  process_start();  // pin the uptime reference
+  registry
+      .gauge(build_info_name(),
+             "Build metadata carried as labels (value is always 1)")
+      .set(1);
+  sample_process_metrics(registry);
+}
+
+void register_process_metrics() {
+  register_process_metrics(Registry::global());
+}
+
+void sample_process_metrics(Registry& registry) {
+  registry
+      .gauge("pandarus_process_resident_memory_bytes",
+             "Resident set size of this process")
+      .set(resident_bytes());
+  registry
+      .gauge("pandarus_process_open_fds",
+             "Open file descriptors of this process")
+      .set(open_fds());
+  const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - process_start());
+  registry
+      .gauge("pandarus_process_uptime_seconds",
+             "Seconds since process metrics were first registered")
+      .set(static_cast<std::int64_t>(uptime.count()));
+}
+
+void sample_process_metrics() { sample_process_metrics(Registry::global()); }
+
+}  // namespace pandarus::obs

@@ -1,0 +1,34 @@
+// Process self-description for Prometheus scrapes (obs::serve): a
+// pandarus_build_info gauge carrying version/compiler labels (value
+// always 1, the node_exporter idiom) plus live process gauges — resident
+// set size, open file descriptors, wall-clock uptime.  The gauges read
+// /proc/self and are zero on non-Linux builds; none of them touch the
+// event stream or simulation state, so arming them cannot perturb a
+// deterministic campaign.
+#pragma once
+
+namespace pandarus::obs {
+
+class Registry;
+
+/// Version label baked in at build time (the PANDARUS_VERSION compile
+/// definition; "dev" when absent).
+[[nodiscard]] const char* build_version() noexcept;
+
+/// Compiler label ("gcc 12.2.0" / clang's __VERSION__ string).
+[[nodiscard]] const char* build_compiler() noexcept;
+
+/// Registers pandarus_build_info{version,compiler} = 1 and the process
+/// gauges (pandarus_process_resident_memory_bytes / _open_fds /
+/// _uptime_seconds) in `registry`, sampling them once.  Idempotent per
+/// registry; the process start reference is captured on first call.
+void register_process_metrics(Registry& registry);
+void register_process_metrics();  ///< same, on Registry::global()
+
+/// Refreshes the process gauges (RSS, fds, uptime); call right before a
+/// scrape or export so the values are current.  Registers them first if
+/// register_process_metrics was never called.
+void sample_process_metrics(Registry& registry);
+void sample_process_metrics();  ///< same, on Registry::global()
+
+}  // namespace pandarus::obs

@@ -1,0 +1,90 @@
+// obs::serve — the live observability endpoint (ROADMAP item 3): one
+// StatusServer wraps the embedded HttpServer (obs/http.hpp) with the
+// route table every campaign binary shares:
+//
+//   GET /                  single-file HTML status page (polls the APIs)
+//   GET /healthz           liveness JSON (uptime, requests served)
+//   GET /metrics           Prometheus scrape of Registry::global(),
+//                          process gauges refreshed per scrape
+//   GET /events/stream     SSE: one `tick` frame per interval carrying
+//                          the EventLog watermark/progress/log stats
+//   GET /api/...           JSON endpoints registered by higher layers
+//
+// Layering: obs cannot see the matchers or replay machinery, so the
+// /api/summary, /api/tables, /api/series and /api/critical-path bodies
+// live in analysis::attach_live_status / attach_replay_status, which
+// register providers through set_json_endpoint().  scenario::
+// run_campaign attaches the live providers automatically when a
+// StatusServer is installed, so `PANDARUS_SERVE=<port>` is all a binary
+// needs.
+//
+// Snapshot discipline: providers must read only (a) the EventLog's
+// published prefix via snapshot_ndjson()/watermark(), (b) mutex-guarded
+// aggregates (FlowTracker::totals()/link_ranking()), and (c) metric
+// snapshots — never staging buffers or live simulator state — so a
+// scrape observes a consistent store without blocking the sim thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/http.hpp"
+
+namespace pandarus::obs {
+
+class StatusServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;   ///< 0 picks an ephemeral port (see port())
+    int workers = 2;
+    int sse_interval_ms = 500;  ///< /events/stream tick period
+  };
+
+  /// Default options (separate overload: GCC 12 rejects `= {}` defaults
+  /// for nested aggregates with member initializers).
+  StatusServer();
+  explicit StatusServer(Options options);
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// Binds 127.0.0.1 and starts serving; false when the port is taken.
+  bool start();
+  /// Graceful shutdown: ends SSE streams, joins every server thread.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return http_.running(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return http_.port(); }
+
+  /// Returns a complete JSON body for one GET.  Providers run on server
+  /// worker threads — they must be thread-safe and snapshot-isolated.
+  using JsonProvider = std::function<std::string()>;
+  /// Registers (or replaces) `GET <path>` -> application/json.  Paths
+  /// conventionally live under /api/.
+  void set_json_endpoint(std::string path, JsonProvider provider);
+
+  /// Makes this the process-wide server higher layers attach endpoints
+  /// to (same single-slot discipline as EventLog/FlowTracker).
+  void install() noexcept;
+  void uninstall() noexcept;
+  [[nodiscard]] static StatusServer* installed() noexcept {
+    return g_installed.load(std::memory_order_acquire);
+  }
+
+ private:
+  HttpResponse handle(const HttpRequest& request);
+  HttpResponse events_stream() const;
+
+  Options options_;
+  HttpServer http_;
+  mutable std::mutex routes_mutex_;
+  std::map<std::string, JsonProvider> routes_;
+  static std::atomic<StatusServer*> g_installed;
+};
+
+}  // namespace pandarus::obs

@@ -27,6 +27,7 @@
 #include "analysis/imbalance.hpp"
 #include "analysis/report.hpp"
 #include "analysis/report_html.hpp"
+#include "analysis/serve_endpoints.hpp"
 #include "analysis/summary.hpp"
 #include "analysis/threshold.hpp"
 #include "analysis/volume_growth.hpp"
@@ -56,8 +57,11 @@
 #include "obs/env.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
 #include "obs/sampler.hpp"
+#include "obs/serve.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/campaign.hpp"

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/serve_endpoints.hpp"
 #include "dms/deletion.hpp"
 #include "dms/rule.hpp"
 #include "dms/selector.hpp"
@@ -14,6 +15,7 @@
 #include "obs/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
+#include "obs/serve.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/io.hpp"
@@ -54,6 +56,14 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   obs::Registry::global()
       .counter("pandarus_campaign_runs_total", "Campaigns simulated")
       .inc();
+
+  // A campaign binary with a StatusServer installed (PANDARUS_SERVE)
+  // gets the /api endpoints for free — the providers read only the
+  // EventLog's published prefix and mutex-guarded aggregates, never
+  // live simulator state.
+  if (obs::StatusServer* server = obs::StatusServer::installed()) {
+    analysis::attach_live_status(*server);
+  }
 
   ScenarioResult result;
   util::Rng rng(config.seed);
@@ -350,12 +360,25 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   // "campaign/day" span (arg = day index) in the trace.
   {
     const obs::ScopedSpan simulate_span("campaign/simulate", "scenario");
+    // Live-progress gauges for obs::serve's SSE stream; gauges never
+    // touch the event stream, so they are determinism-neutral.
+    obs::Gauge& sim_now = obs::Registry::global().gauge(
+        "pandarus_campaign_sim_now_ms",
+        "Simulated time reached by the running campaign");
+    obs::Registry::global()
+        .gauge("pandarus_campaign_window_end_ms",
+               "Observation-window end of the running campaign")
+        .set(result.window_end);
     const util::SimTime horizon = result.window_end + util::days(3);
     std::int64_t day = 0;
     for (util::SimTime t = 0; t < horizon; ++day) {
       t = std::min(horizon, t + util::days(1));
       const obs::ScopedSpan day_span("campaign/day", "scenario", day);
       scheduler.run_until(t);
+      sim_now.set(t);
+      // Publish this day's events so snapshot readers (serve, periodic
+      // flush) can see a consistent prefix while the campaign runs.
+      if (obs::EventLog* log = obs::EventLog::installed()) log->publish();
     }
   }
   phase_span.emplace("campaign/post_process", "scenario");
@@ -402,6 +425,10 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
                     .field("cpu_slots", s.cpu_slots));
     }
     telemetry::emit_store_events(result.store, scheduler.now());
+    // Harvest published immediately: a live /api/summary scrape from
+    // here on replays the full record set and equals the post-hoc
+    // analysis::report numbers.
+    log->publish();
   }
 
   result.panda = server.stats();

@@ -1,0 +1,226 @@
+// Minimal Prometheus text-exposition validator, sibling of
+// json_validator.hpp: checks line shape, metric-name syntax, label-block
+// syntax, that values parse as doubles, and that every family carries
+// `# HELP` and `# TYPE` exactly once, before its first sample.
+// Histogram `_bucket`/`_sum`/`_count` suffixes resolve to the declaring
+// family.  Validation only — the library-side exporter is
+// obs::export_prometheus.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace pandarus::testing {
+
+class PromTextValidator {
+ public:
+  explicit PromTextValidator(std::string_view text) : text_(text) {}
+
+  /// True iff every line is well formed and the HELP/TYPE discipline
+  /// holds; error() describes the first violation.
+  bool valid() {
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos < text_.size()) {
+      std::size_t end = text_.find('\n', pos);
+      if (end == std::string_view::npos) end = text_.size();
+      ++line_no;
+      if (!check_line(text_.substr(pos, end - pos))) {
+        error_ = "line " + std::to_string(line_no) + ": " + error_;
+        return false;
+      }
+      pos = end + 1;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  struct Family {
+    bool helped = false;
+    bool typed = false;
+    bool sampled = false;
+    std::string type;
+  };
+
+  static bool name_char(char c, bool first) noexcept {
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+        c == ':') {
+      return true;
+    }
+    return !first && std::isdigit(static_cast<unsigned char>(c)) != 0;
+  }
+
+  static bool valid_name(std::string_view name) noexcept {
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      if (!name_char(name[i], i == 0)) return false;
+    }
+    return true;
+  }
+
+  bool check_line(std::string_view line) {
+    if (line.empty()) return true;  // blank lines are legal
+    if (line[0] == '#') return check_comment(line);
+    return check_sample(line);
+  }
+
+  bool check_comment(std::string_view line) {
+    // "# HELP <name> <text>" / "# TYPE <name> <kind>"; any other
+    // comment is free-form and ignored.
+    if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0) {
+      return true;
+    }
+    const bool is_help = line.rfind("# HELP ", 0) == 0;
+    std::string_view rest = line.substr(7);
+    const std::size_t sp = rest.find(' ');
+    const std::string_view name =
+        sp == std::string_view::npos ? rest : rest.substr(0, sp);
+    if (!valid_name(name)) {
+      error_ = "bad metric name in comment: '" + std::string(name) + "'";
+      return false;
+    }
+    Family& family = families_[std::string(name)];
+    if (family.sampled) {
+      error_ = std::string(is_help ? "HELP" : "TYPE") + " for '" +
+               std::string(name) + "' after its first sample";
+      return false;
+    }
+    if (is_help) {
+      if (family.helped) {
+        error_ = "duplicate HELP for '" + std::string(name) + "'";
+        return false;
+      }
+      family.helped = true;
+      return true;
+    }
+    if (family.typed) {
+      error_ = "duplicate TYPE for '" + std::string(name) + "'";
+      return false;
+    }
+    const std::string_view kind =
+        sp == std::string_view::npos ? std::string_view{} : rest.substr(sp + 1);
+    if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+        kind != "summary" && kind != "untyped") {
+      error_ = "bad TYPE kind '" + std::string(kind) + "' for '" +
+               std::string(name) + "'";
+      return false;
+    }
+    family.typed = true;
+    family.type = std::string(kind);
+    return true;
+  }
+
+  bool check_sample(std::string_view line) {
+    // <name>[{labels}] <value>[ <timestamp>]
+    std::size_t i = 0;
+    while (i < line.size() && name_char(line[i], i == 0)) ++i;
+    const std::string_view name = line.substr(0, i);
+    if (!valid_name(name)) {
+      error_ = "bad sample metric name";
+      return false;
+    }
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        error_ = "unterminated label block for '" + std::string(name) + "'";
+        return false;
+      }
+      if (!check_labels(line.substr(i + 1, close - i - 1))) return false;
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      error_ = "missing value for '" + std::string(name) + "'";
+      return false;
+    }
+    const std::string value(line.substr(i + 1));
+    if (value.empty() || value.find(' ') != std::string::npos) {
+      error_ = "malformed value field for '" + std::string(name) + "'";
+      return false;
+    }
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* parse_end = nullptr;
+      std::strtod(value.c_str(), &parse_end);
+      if (parse_end == value.c_str() || *parse_end != '\0') {
+        error_ = "value '" + value + "' for '" + std::string(name) +
+                 "' is not a number";
+        return false;
+      }
+    }
+    return note_sample(name);
+  }
+
+  bool check_labels(std::string_view labels) {
+    // name="value",... — escapes \\ \" \n inside values.
+    std::size_t i = 0;
+    while (i < labels.size()) {
+      std::size_t start = i;
+      while (i < labels.size() && name_char(labels[i], i == start)) ++i;
+      if (i == start || i >= labels.size() || labels[i] != '=') {
+        error_ = "bad label name in '" + std::string(labels) + "'";
+        return false;
+      }
+      ++i;
+      if (i >= labels.size() || labels[i] != '"') {
+        error_ = "label value must be quoted in '" + std::string(labels) + "'";
+        return false;
+      }
+      ++i;
+      while (i < labels.size() && labels[i] != '"') {
+        if (labels[i] == '\\') ++i;
+        ++i;
+      }
+      if (i >= labels.size()) {
+        error_ = "unterminated label value in '" + std::string(labels) + "'";
+        return false;
+      }
+      ++i;  // closing quote
+      if (i < labels.size()) {
+        if (labels[i] != ',') {
+          error_ = "expected ',' between labels in '" + std::string(labels) +
+                   "'";
+          return false;
+        }
+        ++i;
+      }
+    }
+    return true;
+  }
+
+  /// Resolves the declaring family for a sample name (histogram series
+  /// carry _bucket/_sum/_count suffixes) and enforces HELP+TYPE-first.
+  bool note_sample(std::string_view name) {
+    std::string family(name);
+    if (families_.find(family) == families_.end()) {
+      for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+        if (name.size() > suffix.size() &&
+            name.substr(name.size() - suffix.size()) == suffix) {
+          const std::string base(name.substr(0, name.size() - suffix.size()));
+          const auto it = families_.find(base);
+          if (it != families_.end() && it->second.type == "histogram") {
+            family = base;
+            break;
+          }
+        }
+      }
+    }
+    const auto it = families_.find(family);
+    if (it == families_.end() || !it->second.typed || !it->second.helped) {
+      error_ = "sample '" + std::string(name) +
+               "' without preceding HELP and TYPE";
+      return false;
+    }
+    it->second.sampled = true;
+    return true;
+  }
+
+  std::string_view text_;
+  std::string error_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace pandarus::testing

@@ -1,0 +1,559 @@
+// obs::serve end-to-end: the embedded HTTP server's protocol corners
+// (split reads, oversized heads, pipelining, abrupt closes), the
+// StatusServer route table, the Prometheus exposition discipline, the
+// analysis /api bodies against post-hoc ground truth, and the
+// byte-identity of a campaign's NDJSON stream with a concurrent scraper
+// hammering the endpoints (the TSan target).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "analysis/events_replay.hpp"
+#include "analysis/serve_endpoints.hpp"
+#include "analysis/summary.hpp"
+#include "core/exact.hpp"
+#include "core/relaxed.hpp"
+#include "json_validator.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flow.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/process.hpp"
+#include "obs/serve.hpp"
+#include "promtext_validator.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/config.hpp"
+#include "util/json.hpp"
+
+namespace pandarus {
+namespace {
+
+// --- raw-socket client helpers ---------------------------------------------
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+bool send_text(int fd, std::string_view text) {
+  while (!text.empty()) {
+    const ssize_t n = ::send(fd, text.data(), text.size(), MSG_NOSIGNAL);
+    if (n < 0) return false;
+    text.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string recv_until_eof(int fd) {
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+/// Reads exactly one keep-alive response (headers + Content-Length body)
+/// from `buffer`+socket, consuming it from `buffer`.
+std::string recv_one_response(int fd, std::string& buffer) {
+  const auto read_more = [&buffer, fd] {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  };
+  std::size_t head_end = std::string::npos;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    if (!read_more()) return {};
+  }
+  head_end += 4;
+  const std::string head = buffer.substr(0, head_end);
+  std::size_t body_len = 0;
+  const std::size_t cl = head.find("Content-Length: ");
+  if (cl != std::string::npos) {
+    body_len = static_cast<std::size_t>(
+        std::strtoull(head.c_str() + cl + 16, nullptr, 10));
+  }
+  while (buffer.size() < head_end + body_len) {
+    if (!read_more()) return {};
+  }
+  const std::string response = buffer.substr(0, head_end + body_len);
+  buffer.erase(0, head_end + body_len);
+  return response;
+}
+
+/// One-shot GET with Connection: close; returns the full response text.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = connect_to(port);
+  send_text(fd, "GET " + path +
+                    " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+                    "\r\n");
+  std::string response = recv_until_eof(fd);
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t head_end = response.find("\r\n\r\n");
+  return head_end == std::string::npos ? std::string()
+                                       : response.substr(head_end + 4);
+}
+
+/// Handler used by the protocol tests: echoes the path.
+obs::HttpServer::Options test_options() {
+  obs::HttpServer::Options options;
+  options.max_request_bytes = 1024;  // small so 431 is cheap to trigger
+  return options;
+}
+
+obs::HttpResponse echo_handler(const obs::HttpRequest& request) {
+  obs::HttpResponse response;
+  response.body = "path=" + request.path + "\n";
+  return response;
+}
+
+// --- HttpServer protocol corners -------------------------------------------
+
+TEST(HttpServer, ServesSplitReads) {
+  obs::HttpServer server(echo_handler, test_options());
+  ASSERT_TRUE(server.start());
+  const int fd = connect_to(server.port());
+  // The request head arrives in three pieces with pauses in between.
+  for (const std::string_view piece :
+       {"GET /hello HT", "TP/1.1\r\nHost: x\r\nConnec",
+        "tion: close\r\n\r\n"}) {
+    ASSERT_TRUE(send_text(fd, piece));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const std::string response = recv_until_eof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(response), "path=/hello\n");
+  server.stop();
+}
+
+TEST(HttpServer, OversizedRequestHeadDraws431) {
+  obs::HttpServer server(echo_handler, test_options());
+  ASSERT_TRUE(server.start());
+  const int fd = connect_to(server.port());
+  const std::string huge =
+      "GET /" + std::string(4096, 'a') + " HTTP/1.1\r\n";
+  ASSERT_TRUE(send_text(fd, huge));
+  const std::string response = recv_until_eof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("431"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, PipelinedRequestsEachGetAResponse) {
+  obs::HttpServer server(echo_handler, test_options());
+  ASSERT_TRUE(server.start());
+  const int fd = connect_to(server.port());
+  ASSERT_TRUE(send_text(fd,
+                        "GET /one HTTP/1.1\r\nHost: x\r\n\r\n"
+                        "GET /two HTTP/1.1\r\nHost: x\r\n\r\n"));
+  std::string buffer;
+  const std::string first = recv_one_response(fd, buffer);
+  const std::string second = recv_one_response(fd, buffer);
+  ::close(fd);
+  EXPECT_EQ(body_of(first), "path=/one\n");
+  EXPECT_EQ(body_of(second), "path=/two\n");
+  server.stop();
+}
+
+TEST(HttpServer, AbruptClientCloseLeavesServerServing) {
+  obs::HttpServer server(echo_handler, test_options());
+  ASSERT_TRUE(server.start());
+  // Half a request, then a hard close.
+  const int fd = connect_to(server.port());
+  ASSERT_TRUE(send_text(fd, "GET /half HTT"));
+  ::close(fd);
+  // The server must keep serving new connections.
+  const std::string response = http_get(server.port(), "/after");
+  EXPECT_EQ(body_of(response), "path=/after\n");
+  server.stop();
+}
+
+TEST(HttpServer, RejectsNonGetAndGarbage) {
+  obs::HttpServer server(echo_handler, test_options());
+  ASSERT_TRUE(server.start());
+  {
+    const int fd = connect_to(server.port());
+    send_text(fd, "POST /x HTTP/1.1\r\nHost: x\r\n\r\n");
+    const std::string response = recv_until_eof(fd);
+    ::close(fd);
+    EXPECT_NE(response.find("405"), std::string::npos);
+  }
+  {
+    const int fd = connect_to(server.port());
+    send_text(fd, "not an http request at all\r\n\r\n");
+    const std::string response = recv_until_eof(fd);
+    ::close(fd);
+    EXPECT_NE(response.find("400"), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(HttpServer, HeadOmitsTheBody) {
+  obs::HttpServer server(echo_handler, test_options());
+  ASSERT_TRUE(server.start());
+  const int fd = connect_to(server.port());
+  send_text(fd, "HEAD /h HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  const std::string response = recv_until_eof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 8"), std::string::npos);
+  EXPECT_EQ(body_of(response), "");
+  server.stop();
+}
+
+// --- StatusServer route table -----------------------------------------------
+
+TEST(StatusServer, HealthzMetricsAndStatusPage) {
+  obs::register_process_metrics();
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start());
+
+  const std::string healthz = body_of(http_get(server.port(), "/healthz"));
+  EXPECT_TRUE(testing::JsonValidator(healthz).valid()) << healthz;
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+
+  const std::string metrics = body_of(http_get(server.port(), "/metrics"));
+  testing::PromTextValidator prom(metrics);
+  EXPECT_TRUE(prom.valid()) << prom.error();
+  EXPECT_NE(metrics.find("pandarus_build_info{version=\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("pandarus_process_resident_memory_bytes"),
+            std::string::npos);
+
+  const std::string page = http_get(server.port(), "/");
+  EXPECT_NE(page.find("text/html"), std::string::npos);
+  EXPECT_NE(page.find("<html"), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/api/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_TRUE(testing::JsonValidator(body_of(missing)).valid());
+  server.stop();
+}
+
+TEST(StatusServer, ExportPrometheusDeclaresEveryFamilyExactlyOnce) {
+  // A private registry with every metric kind, including a labelled
+  // gauge family with two label sets (one family, two samples).
+  obs::Registry registry;
+  registry.counter("t_requests_total", "requests").inc(3);
+  registry.gauge("t_depth", "queue depth").set(7);
+  registry.gauge("t_info{version=\"1\"}", "info").set(1);
+  registry.gauge("t_info{version=\"2\"}", "info").set(1);
+  registry.histogram("t_latency_ms", {1.0, 10.0}, "latency").observe(4.0);
+  const std::string text = export_prometheus(registry.snapshot());
+  testing::PromTextValidator prom(text);
+  EXPECT_TRUE(prom.valid()) << prom.error() << "\n" << text;
+  // Exactly one HELP/TYPE for the two-sample family.
+  std::size_t help_count = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# HELP t_info", pos)) != std::string::npos; ++pos) {
+    ++help_count;
+  }
+  EXPECT_EQ(help_count, 1u);
+  // Histogram emits the canonical series plus quantile gauge families.
+  EXPECT_NE(text.find("t_latency_ms_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_latency_ms_p50 gauge"), std::string::npos);
+}
+
+TEST(StatusServer, SseStreamDeliversTicks) {
+  obs::StatusServer::Options options;
+  options.sse_interval_ms = 20;
+  obs::StatusServer server(options);
+  ASSERT_TRUE(server.start());
+  const int fd = connect_to(server.port());
+  send_text(fd, "GET /events/stream HTTP/1.1\r\nHost: x\r\n\r\n");
+  std::string received;
+  char chunk[2048];
+  while (received.find("event: tick") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    ASSERT_GT(n, 0) << "stream closed before a tick arrived";
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(received.find("retry: 2000"), std::string::npos);
+  EXPECT_NE(received.find("text/event-stream"), std::string::npos);
+  // The tick payload between "data: " and the frame separator is JSON.
+  const std::size_t data = received.find("data: ");
+  ASSERT_NE(data, std::string::npos);
+  const std::size_t end = received.find('\n', data);
+  ASSERT_NE(end, std::string::npos);
+  const std::string payload = received.substr(data + 6, end - data - 6);
+  EXPECT_TRUE(testing::JsonValidator(payload).valid()) << payload;
+  server.stop();
+}
+
+// --- live /api bodies vs post-hoc ground truth ------------------------------
+
+TEST(ServeEndpoints, LiveSummaryEqualsPostHocAnalysis) {
+  obs::Registry::global().reset_for_test();
+  obs::EventLog log;
+  log.install();
+  obs::FlowTracker tracker;
+  tracker.install();
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start());
+  server.install();
+
+  const scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+  const scenario::ScenarioResult result = scenario::run_campaign(config);
+
+  // Ground truth: post-hoc replay of the full stream + the matchers.
+  std::istringstream stream(log.to_ndjson());
+  const analysis::ReplayResult replay = analysis::replay_events(stream);
+  const core::Matcher matcher(replay.store);
+  const core::TriMatchResult tri = core::run_all_methods(matcher);
+  const analysis::OverallSummary expected =
+      analysis::overall_summary(replay.store, tri.exact);
+
+  const std::string body = body_of(http_get(server.port(), "/api/summary"));
+  ASSERT_TRUE(testing::JsonValidator(body).valid()) << body;
+  const auto parsed = util::json::parse(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->get_int("jobs"),
+            static_cast<std::int64_t>(expected.total_jobs));
+  EXPECT_EQ(parsed->get_int("transfers"),
+            static_cast<std::int64_t>(expected.total_transfers));
+  const util::json::Value* exact = parsed->find("exact");
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->get_int("matched_jobs"),
+            static_cast<std::int64_t>(tri.exact.matched_job_count()));
+  EXPECT_EQ(exact->get_int("matched_transfers"),
+            static_cast<std::int64_t>(tri.exact.matched_transfer_count()));
+  const util::json::Value* rm2 = parsed->find("rm2");
+  ASSERT_NE(rm2, nullptr);
+  EXPECT_EQ(rm2->get_int("matched_jobs"),
+            static_cast<std::int64_t>(tri.rm2.matched_job_count()));
+  EXPECT_GT(parsed->get_int("jobs"), 0);
+  EXPECT_EQ(parsed->get_int("window_end"), result.window_end);
+
+  // Tables and series parse and carry the same watermark.
+  const std::string tables = body_of(http_get(server.port(), "/api/tables"));
+  ASSERT_TRUE(testing::JsonValidator(tables).valid());
+  const std::string series = body_of(http_get(server.port(), "/api/series"));
+  ASSERT_TRUE(testing::JsonValidator(series).valid());
+  const auto series_parsed = util::json::parse(series);
+  ASSERT_TRUE(series_parsed.has_value());
+  EXPECT_EQ(series_parsed->get_int("watermark"),
+            parsed->get_int("watermark"));
+
+  // Critical path reflects the live tracker's aggregates.
+  const std::string critical =
+      body_of(http_get(server.port(), "/api/critical-path"));
+  ASSERT_TRUE(testing::JsonValidator(critical).valid()) << critical;
+  const auto critical_parsed = util::json::parse(critical);
+  ASSERT_TRUE(critical_parsed.has_value());
+  const obs::FlowTotals totals = tracker.totals();
+  EXPECT_EQ(critical_parsed->get_int("flows"),
+            static_cast<std::int64_t>(totals.flows));
+  const util::json::Value* links = critical_parsed->find("links");
+  ASSERT_NE(links, nullptr);
+  EXPECT_EQ(links->arr.size(), tracker.link_ranking().size());
+
+  server.uninstall();
+  server.stop();
+  tracker.uninstall();
+  log.uninstall();
+}
+
+TEST(ServeEndpoints, ReplayModeServesPrecomputedBodies) {
+  obs::Registry::global().reset_for_test();
+  obs::EventLog log;
+  log.install();
+  const scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+  std::ignore = scenario::run_campaign(config);
+  log.close();
+  log.uninstall();
+
+  std::istringstream stream(log.to_ndjson());
+  auto replay = std::make_shared<const analysis::ReplayResult>(
+      analysis::replay_events(stream));
+  ASSERT_GT(replay->lines_parsed, 0u);
+
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start());
+  analysis::attach_replay_status(server, replay);
+  const std::string body = body_of(http_get(server.port(), "/api/summary"));
+  ASSERT_TRUE(testing::JsonValidator(body).valid()) << body;
+  const auto parsed = util::json::parse(body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->get_bool("closed"));
+  EXPECT_GT(parsed->get_int("jobs"), 0);
+  EXPECT_EQ(parsed->get_int("watermark"),
+            static_cast<std::int64_t>(replay->lines_parsed));
+  server.stop();
+}
+
+// --- byte identity under concurrent scraping (the TSan test) ----------------
+
+TEST(ServeEndpoints, ScrapedCampaignNdjsonIsByteIdenticalToUnscraped) {
+  const scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+
+  // Baseline: no server, no scrapes.
+  std::string baseline;
+  {
+    obs::Registry::global().reset_for_test();
+    obs::EventLog log;
+    log.install();
+    std::ignore = scenario::run_campaign(config);
+    log.uninstall();
+    baseline = log.to_ndjson();
+  }
+
+  // Same campaign with a status server installed and a client hammering
+  // /metrics, /api/summary and /healthz throughout the run.
+  std::string scraped;
+  {
+    obs::Registry::global().reset_for_test();
+    obs::EventLog log;
+    log.install();
+    obs::StatusServer server;
+    ASSERT_TRUE(server.start());
+    server.install();
+    std::atomic<bool> done{false};
+    std::thread scraper([&server, &done] {
+      while (!done.load(std::memory_order_acquire)) {
+        http_get(server.port(), "/metrics");
+        http_get(server.port(), "/api/summary");
+        http_get(server.port(), "/healthz");
+      }
+    });
+    std::ignore = scenario::run_campaign(config);
+    done.store(true, std::memory_order_release);
+    scraper.join();
+    // One last scrape after the campaign finished (post-harvest path).
+    const std::string body =
+        body_of(http_get(server.port(), "/api/summary"));
+    EXPECT_TRUE(testing::JsonValidator(body).valid());
+    server.uninstall();
+    server.stop();
+    log.uninstall();
+    scraped = log.to_ndjson();
+  }
+
+  ASSERT_EQ(baseline.size(), scraped.size());
+  EXPECT_TRUE(baseline == scraped);
+}
+
+// --- EventLog publication / flush knob --------------------------------------
+
+TEST(EventLogServe, PublishAdvancesTheWatermark) {
+  obs::EventLog log;
+  log.install();
+  for (std::int64_t i = 0; i < 10; ++i) {
+    log.emit(obs::Event("tick", i, i));
+  }
+  // Ten lines sit in this thread's staging buffer, below the drain
+  // batch: nothing is published yet.
+  EXPECT_EQ(log.watermark(), 0u);
+  EXPECT_EQ(log.publish(), 10u);
+  EXPECT_EQ(log.watermark(), 10u);
+  std::string snapshot;
+  EXPECT_EQ(log.snapshot_ndjson(snapshot), 10u);
+  log.uninstall();
+  EXPECT_EQ(snapshot, log.to_ndjson());
+}
+
+TEST(EventLogServe, SnapshotStreamsIncrementally) {
+  obs::EventLog log;
+  log.install();
+  log.emit(obs::Event("a", 1, std::int64_t{1}));
+  log.publish();
+  std::string first;
+  const std::uint64_t cursor = log.snapshot_ndjson(first);
+  log.emit(obs::Event("b", 2, std::int64_t{2}));
+  log.publish();
+  std::string second;
+  EXPECT_EQ(log.snapshot_ndjson(second, cursor), 2u);
+  log.uninstall();
+  EXPECT_EQ(first + second, log.to_ndjson());
+  EXPECT_NE(second.find("\"b\""), std::string::npos);
+  EXPECT_EQ(second.find("\"a\""), std::string::npos);
+}
+
+TEST(EventLogServe, UnpublishedForeignBufferStallsTheWatermark) {
+  obs::EventLog log;
+  log.install();
+  // A second thread emits one line and exits without filling its batch:
+  // its line is staged, unpublished.
+  std::thread other([&log] { log.emit(obs::Event("other", 1, 1)); });
+  other.join();
+  log.emit(obs::Event("mine", 2, 2));
+  log.publish();
+  // One of the two seqs is still staged in the (dead) foreign buffer,
+  // so the watermark cannot cover both lines.
+  EXPECT_LT(log.watermark(), 2u);
+  // close() drains every buffer (emitters have quiesced) and the
+  // watermark reaches the full stream, stats line included.
+  log.close();
+  EXPECT_EQ(log.watermark(), 3u);
+  std::string all;
+  log.snapshot_ndjson(all);
+  log.uninstall();
+  EXPECT_EQ(all, log.to_ndjson());
+}
+
+TEST(EventLogServe, PeriodicFlushWritesPublishedPrefixBeforeClose) {
+  const std::string path = ::testing::TempDir() + "serve_flush_test.ndjson";
+  obs::EventLog log;
+  log.install();
+  ASSERT_TRUE(log.start_periodic_flush(path, 10));
+  log.emit(obs::Event("early", 1, std::int64_t{1}));
+  log.publish();
+  // Within a few intervals the published line must be on disk.
+  std::string on_disk;
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::ifstream in(path);
+    std::stringstream read;
+    read << in.rdbuf();
+    on_disk = read.str();
+    if (!on_disk.empty()) break;
+  }
+  EXPECT_NE(on_disk.find("\"early\""), std::string::npos);
+  log.emit(obs::Event("late", 2, std::int64_t{2}));
+  log.close();
+  log.stop_periodic_flush();
+  log.uninstall();
+  std::ifstream in(path);
+  std::stringstream read;
+  read << in.rdbuf();
+  // After the final flush the file holds the complete stream.
+  EXPECT_EQ(read.str(), log.to_ndjson());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pandarus
