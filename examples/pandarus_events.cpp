@@ -14,6 +14,11 @@
 //   pandarus-events match <file>
 //       Replays the stream (either format), rebuilds the MetadataStore
 //       and runs the three matching methods; JSON counts on stdout.
+//   pandarus-events recover <in> [<out>]
+//       Salvages the longest valid prefix of a crash-truncated stream
+//       (whole NDJSON lines / CRC-valid colstore chunks).  Without
+//       <out> the file is repaired in place; a JSON recovery report
+//       goes to stdout either way.
 //
 // Record a stream with PANDARUS_EVENTS=<path> (NDJSON) and/or
 // PANDARUS_EVENTS_COL=<path> (colstore) on any campaign binary.
@@ -32,6 +37,7 @@
 #include "analysis/events_replay.hpp"
 #include "core/relaxed.hpp"
 #include "obs/colstore.hpp"
+#include "obs/recover.hpp"
 
 namespace {
 
@@ -41,7 +47,8 @@ int usage() {
          "       pandarus-events stats <file>\n"
          "       pandarus-events cat <colstore> [--type <kind>]...\n"
          "                       [--from <ms>] [--to <ms>] [--site <id>]\n"
-         "       pandarus-events match <file>\n";
+         "       pandarus-events match <file>\n"
+         "       pandarus-events recover <in> [<out>]\n";
   return 2;
 }
 
@@ -235,6 +242,25 @@ int cmd_match(const std::string& path) {
   return 0;
 }
 
+int cmd_recover(const std::string& in_path, const std::string& out_path) {
+  using pandarus::obs::RecoveryReport;
+  const RecoveryReport report =
+      pandarus::obs::is_colstore_file(in_path)
+          ? pandarus::obs::recover_colstore_file(in_path, out_path)
+          : pandarus::obs::recover_ndjson_file(in_path, out_path);
+  std::printf("{\"ok\":%s,\"truncated\":%s,\"salvaged_events\":%llu,"
+              "\"salvaged_chunks\":%llu,\"salvaged_bytes\":%llu,"
+              "\"dropped_bytes\":%llu,\"detail\":\"%s\"}\n",
+              report.ok ? "true" : "false",
+              report.truncated ? "true" : "false",
+              static_cast<unsigned long long>(report.salvaged_events),
+              static_cast<unsigned long long>(report.salvaged_chunks),
+              static_cast<unsigned long long>(report.salvaged_bytes),
+              static_cast<unsigned long long>(report.dropped_bytes),
+              report.detail.c_str());
+  return report.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,5 +270,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
   if (cmd == "cat" && argc >= 3) return cmd_cat(argc, argv);
   if (cmd == "match" && argc == 3) return cmd_match(argv[2]);
+  if (cmd == "recover" && (argc == 3 || argc == 4)) {
+    return cmd_recover(argv[2], argc == 4 ? argv[3] : argv[2]);
+  }
   return usage();
 }

@@ -112,7 +112,8 @@ class NdjsonSource final : public EventSource {
 /// indistinguishable across formats.
 class ColstoreSource final : public EventSource {
  public:
-  explicit ColstoreSource(const std::string& path) : reader_(path) {}
+  ColstoreSource(const std::string& path, bool recover)
+      : reader_(path, obs::ColFilter{}, obs::ColReadOptions{recover}) {}
 
   const util::json::Value* next() override {
     obs::DecodedEvent e;
@@ -202,9 +203,10 @@ std::unique_ptr<EventSource> make_ndjson_source(std::istream& in) {
       nullptr);
 }
 
-std::unique_ptr<EventSource> open_event_source(const std::string& path) {
+std::unique_ptr<EventSource> open_event_source(
+    const std::string& path, const EventSourceOptions& options) {
   if (obs::is_colstore_file(path)) {
-    return std::make_unique<ColstoreSource>(path);
+    return std::make_unique<ColstoreSource>(path, options.recover);
   }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {

@@ -1,20 +1,27 @@
 #include "obs/colstore.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
-#include <array>
 #include <cstring>
 #include <limits>
 
 #include "obs/event_log.hpp"
+#include "util/crc32.hpp"
 #include "util/log.hpp"
 
 namespace pandarus::obs {
 namespace {
 
+using util::crc32;
+
 // --- format constants -------------------------------------------------------
 
 constexpr char kFileMagic[8] = {'P', 'C', 'O', 'L', 'S', 'T', 'R', '1'};
-constexpr std::uint8_t kFormatVersion = 1;
+// v2 adds a CRC32 of the chunk header to the frame, so a torn tail is
+// detected before any header field is trusted.  Readers accept both.
+constexpr std::uint8_t kFormatVersion = 2;
+constexpr std::uint8_t kMinFormatVersion = 1;
 constexpr std::uint32_t kChunkMagic = 0x314B4350u;  // "PCK1" little-endian
 
 // Sanity bounds: a reader must reject absurd sizes before allocating,
@@ -105,27 +112,6 @@ bool get_u64_le(std::string_view s, std::size_t& pos, std::uint64_t& v) {
   }
   pos += 8;
   return true;
-}
-
-// --- CRC32 (IEEE 802.3, reflected) ------------------------------------------
-
-std::uint32_t crc32(std::string_view data) {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const char ch : data) {
-    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
 }
 
 // --- LZ block compressor ----------------------------------------------------
@@ -537,9 +523,10 @@ bool ColWriter::flush_chunk() {
   put_varint(header, crc32(data_blob));
 
   std::string frame;
-  frame.reserve(8 + header.size() + meta_blob.size() + data_blob.size());
+  frame.reserve(12 + header.size() + meta_blob.size() + data_blob.size());
   put_u32_le(frame, kChunkMagic);
   put_u32_le(frame, static_cast<std::uint32_t>(header.size()));
+  put_u32_le(frame, crc32(header));  // v2: torn headers detectable
   frame += header;
   frame += meta_blob;
   frame += data_blob;
@@ -570,6 +557,10 @@ bool ColWriter::close() {
     if (std::fflush(out_) != 0 || std::ferror(out_) != 0) {
       fail("flush failed on close");
     }
+    if (options_.fsync_on_close && ok() &&
+        ::fsync(fileno(out_)) != 0) {
+      fail("fsync failed on close");
+    }
     std::fclose(out_);
     out_ = nullptr;
   }
@@ -578,8 +569,9 @@ bool ColWriter::close() {
 
 // --- ColReader --------------------------------------------------------------
 
-ColReader::ColReader(const std::string& path, ColFilter filter)
-    : filter_(std::move(filter)) {
+ColReader::ColReader(const std::string& path, ColFilter filter,
+                     ColReadOptions options)
+    : filter_(std::move(filter)), options_(options) {
   in_ = std::fopen(path.c_str(), "rb");
   if (in_ == nullptr) {
     fail("cannot open " + path);
@@ -593,10 +585,14 @@ ColReader::ColReader(const std::string& path, ColFilter filter)
     eof_ = true;
     return;
   }
-  if (header[8] != kFormatVersion) {
+  if (header[8] < kMinFormatVersion || header[8] > kFormatVersion) {
     fail("unsupported colstore version " + std::to_string(header[8]));
     eof_ = true;
+    return;
   }
+  version_ = header[8];
+  recovery_.ok = true;
+  recovery_.salvaged_bytes = sizeof header;
 }
 
 ColReader::~ColReader() {
@@ -605,7 +601,37 @@ ColReader::~ColReader() {
 
 void ColReader::fail(const std::string& message) {
   if (error_.empty()) error_ = "colstore: " + message;
+  recovery_.ok = false;
   eof_ = true;
+}
+
+void ColReader::fail_chunk(const std::string& message) {
+  if (!options_.recover) {
+    fail(message);
+    return;
+  }
+  // Salvage mode: the damage ends the scan at the last intact chunk
+  // boundary instead of latching an error.  Everything past the valid
+  // prefix is accounted as dropped.
+  eof_ = true;
+  recovery_.truncated = true;
+  if (recovery_.detail.empty()) recovery_.detail = message;
+  if (in_ != nullptr && std::fseek(in_, 0, SEEK_END) == 0) {
+    const long end = std::ftell(in_);
+    if (end > 0 &&
+        static_cast<std::uint64_t>(end) >= recovery_.salvaged_bytes) {
+      recovery_.dropped_bytes =
+          static_cast<std::uint64_t>(end) - recovery_.salvaged_bytes;
+    }
+  }
+}
+
+void ColReader::note_chunk_salvaged(std::uint64_t rows) {
+  recovery_.salvaged_events += rows;
+  if (in_ != nullptr) {
+    const long at = std::ftell(in_);
+    if (at > 0) recovery_.salvaged_bytes = static_cast<std::uint64_t>(at);
+  }
 }
 
 bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
@@ -618,17 +644,30 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
       return false;
     }
     if (got != sizeof frame || decode_u32_le(frame) != kChunkMagic) {
-      fail("truncated or corrupt chunk frame");
+      fail_chunk("truncated or corrupt chunk frame");
       return false;
     }
     const std::uint32_t header_len = decode_u32_le(frame + 4);
     if (header_len == 0 || header_len > kMaxChunkHeader) {
-      fail("implausible chunk header size");
+      fail_chunk("implausible chunk header size");
       return false;
+    }
+    std::uint32_t header_crc = 0;
+    if (version_ >= 2) {
+      unsigned char crc_buf[4];
+      if (!read_exact(in_, crc_buf, sizeof crc_buf)) {
+        fail_chunk("truncated chunk header crc");
+        return false;
+      }
+      header_crc = decode_u32_le(crc_buf);
     }
     std::string header(header_len, '\0');
     if (!read_exact(in_, header.data(), header.size())) {
-      fail("truncated chunk header");
+      fail_chunk("truncated chunk header");
+      return false;
+    }
+    if (version_ >= 2 && crc32(header) != header_crc) {
+      fail_chunk("header checksum mismatch (torn or corrupt chunk)");
       return false;
     }
 
@@ -674,7 +713,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     if (!header_ok || meta_raw > kMaxSectionBytes ||
         meta_comp > kMaxSectionBytes || data_raw > kMaxSectionBytes ||
         data_comp > kMaxSectionBytes) {
-      fail("corrupt chunk header");
+      fail_chunk("corrupt chunk header");
       return false;
     }
 
@@ -682,31 +721,31 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     // dictionary delta even when its rows are skipped.
     std::string meta_blob(meta_comp, '\0');
     if (!read_exact(in_, meta_blob.data(), meta_blob.size())) {
-      fail("truncated chunk meta");
+      fail_chunk("truncated chunk meta");
       return false;
     }
     if (crc32(meta_blob) != meta_crc) {
-      fail("meta checksum mismatch (corrupt chunk)");
+      fail_chunk("meta checksum mismatch (corrupt chunk)");
       return false;
     }
     std::string meta;
     if (meta_blob.size() == meta_raw) {
       meta = std::move(meta_blob);
     } else if (!lz_decompress(meta_blob, meta_raw, meta)) {
-      fail("meta decompression failed (corrupt chunk)");
+      fail_chunk("meta decompression failed (corrupt chunk)");
       return false;
     }
     pos = 0;
     std::uint64_t new_strings = 0;
     if (!get_varint(meta, pos, new_strings) ||
         new_strings > kMaxSectionBytes) {
-      fail("corrupt dictionary delta");
+      fail_chunk("corrupt dictionary delta");
       return false;
     }
     for (std::uint64_t i = 0; i < new_strings; ++i) {
       std::uint64_t len = 0;
       if (!get_varint(meta, pos, len) || pos + len > meta.size()) {
-        fail("corrupt dictionary entry");
+        fail_chunk("corrupt dictionary entry");
         return false;
       }
       dict_.emplace_back(meta.data() + pos, len);
@@ -716,7 +755,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     }
     std::uint64_t new_shapes = 0;
     if (!get_varint(meta, pos, new_shapes) || new_shapes > kMaxChunkRows) {
-      fail("corrupt shape delta");
+      fail_chunk("corrupt shape delta");
       return false;
     }
     for (std::uint64_t i = 0; i < new_shapes; ++i) {
@@ -724,14 +763,14 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
       std::uint64_t kind_sym = 0;
       std::uint64_t nfields = 0;
       if (!get_varint(meta, pos, kind_sym) || pos >= meta.size()) {
-        fail("corrupt shape entry");
+        fail_chunk("corrupt shape entry");
         return false;
       }
       shape.kind = static_cast<util::Symbol>(kind_sym);
       shape.entity_kind = static_cast<std::uint8_t>(meta[pos++]);
       if (shape.kind >= dict_.size() || shape.entity_kind > kEntityString ||
           !get_varint(meta, pos, nfields) || nfields > meta.size()) {
-        fail("corrupt shape entry");
+        fail_chunk("corrupt shape entry");
         return false;
       }
       shape.fields.reserve(nfields);
@@ -739,12 +778,12 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
         std::uint64_t key_sym = 0;
         if (!get_varint(meta, pos, key_sym) || pos >= meta.size() ||
             key_sym >= dict_.size()) {
-          fail("corrupt shape field");
+          fail_chunk("corrupt shape field");
           return false;
         }
         const auto type = static_cast<std::uint8_t>(meta[pos++]);
         if (type > static_cast<std::uint8_t>(FieldType::kNull)) {
-          fail("corrupt shape field type");
+          fail_chunk("corrupt shape field type");
           return false;
         }
         shape.fields.emplace_back(static_cast<util::Symbol>(key_sym), type);
@@ -752,7 +791,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
       shapes_.push_back(std::move(shape));
     }
     if (pos != meta.size()) {
-      fail("trailing bytes in chunk meta");
+      fail_chunk("trailing bytes in chunk meta");
       return false;
     }
 
@@ -761,28 +800,30 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     const bool want_rows = !stats_only && chunk_matches_filter(chunk);
     if (!want_rows) {
       if (std::fseek(in_, static_cast<long>(data_comp), SEEK_CUR) != 0) {
-        fail("seek past skipped chunk failed");
+        fail_chunk("seek past skipped chunk failed");
         return false;
       }
       ++stats_.chunks_skipped;
+      ++recovery_.salvaged_chunks;
+      note_chunk_salvaged(chunk.rows);
       if (stats_only) return true;  // caller consumes header info
       continue;
     }
 
     std::string data_blob(data_comp, '\0');
     if (!read_exact(in_, data_blob.data(), data_blob.size())) {
-      fail("truncated chunk data");
+      fail_chunk("truncated chunk data");
       return false;
     }
     if (crc32(data_blob) != data_crc) {
-      fail("data checksum mismatch (corrupt chunk)");
+      fail_chunk("data checksum mismatch (corrupt chunk)");
       return false;
     }
     std::string data;
     if (data_blob.size() == data_raw) {
       data = std::move(data_blob);
     } else if (!lz_decompress(data_blob, data_raw, data)) {
-      fail("data decompression failed (corrupt chunk)");
+      fail_chunk("data decompression failed (corrupt chunk)");
       return false;
     }
 
@@ -792,7 +833,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     for (std::uint64_t r = 0; r < chunk.rows; ++r) {
       std::uint64_t v = 0;
       if (!get_varint(data, pos, v) || v >= shapes_.size()) {
-        fail("corrupt shape column");
+        fail_chunk("corrupt shape column");
         return false;
       }
       shape_ids[r] = static_cast<std::uint32_t>(v);
@@ -802,7 +843,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     for (std::uint64_t r = 0; r < chunk.rows; ++r) {
       std::uint64_t v = 0;
       if (!get_varint(data, pos, v)) {
-        fail("corrupt ts column");
+        fail_chunk("corrupt ts column");
         return false;
       }
       prev_ts = delta_decode(v, prev_ts);
@@ -810,7 +851,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     }
     std::uint64_t n_ent_ints = 0;
     if (!get_varint(data, pos, n_ent_ints) || n_ent_ints > chunk.rows) {
-      fail("corrupt entity column");
+      fail_chunk("corrupt entity column");
       return false;
     }
     std::vector<std::int64_t> ent_ints(n_ent_ints);
@@ -818,7 +859,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     for (std::uint64_t r = 0; r < n_ent_ints; ++r) {
       std::uint64_t v = 0;
       if (!get_varint(data, pos, v)) {
-        fail("corrupt entity column");
+        fail_chunk("corrupt entity column");
         return false;
       }
       prev_ent = delta_decode(v, prev_ent);
@@ -827,14 +868,14 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     std::uint64_t n_ent_strs = 0;
     if (!get_varint(data, pos, n_ent_strs) ||
         n_ent_strs > chunk.rows - n_ent_ints) {
-      fail("corrupt entity column");
+      fail_chunk("corrupt entity column");
       return false;
     }
     std::vector<util::Symbol> ent_strs(n_ent_strs);
     for (std::uint64_t r = 0; r < n_ent_strs; ++r) {
       std::uint64_t v = 0;
       if (!get_varint(data, pos, v) || v >= dict_.size()) {
-        fail("corrupt entity symbol");
+        fail_chunk("corrupt entity symbol");
         return false;
       }
       ent_strs[r] = static_cast<util::Symbol>(v);
@@ -847,7 +888,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     };
     std::uint64_t n_cols = 0;
     if (!get_varint(data, pos, n_cols) || n_cols > kMaxChunkRows) {
-      fail("corrupt column directory");
+      fail_chunk("corrupt column directory");
       return false;
     }
     std::unordered_map<std::uint64_t, ColData> columns;
@@ -858,14 +899,14 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
       std::uint64_t len = 0;
       if (!get_varint(data, pos, key_sym) || pos >= data.size() ||
           key_sym >= dict_.size()) {
-        fail("corrupt column header");
+        fail_chunk("corrupt column header");
         return false;
       }
       const auto type = static_cast<std::uint8_t>(data[pos++]);
       if (type > static_cast<std::uint8_t>(FieldType::kNull) ||
           !get_varint(data, pos, count) || !get_varint(data, pos, len) ||
           pos + len > data.size() || count > kMaxChunkRows) {
-        fail("corrupt column header");
+        fail_chunk("corrupt column header");
         return false;
       }
       const std::string_view bytes(data.data() + pos, len);
@@ -879,7 +920,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
           for (std::uint64_t i = 0; i < count; ++i) {
             std::uint64_t v = 0;
             if (!get_varint(bytes, bpos, v)) {
-              fail("corrupt int column");
+              fail_chunk("corrupt int column");
               return false;
             }
             prev = delta_decode(v, prev);
@@ -891,7 +932,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
           for (std::uint64_t i = 0; i < count; ++i) {
             std::uint64_t v = 0;
             if (!get_u64_le(bytes, bpos, v)) {
-              fail("corrupt double column");
+              fail_chunk("corrupt double column");
               return false;
             }
             col.values.push_back(v);
@@ -900,7 +941,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
         case FieldType::kBool:
           for (std::uint64_t i = 0; i < count; ++i) {
             if (bpos >= bytes.size()) {
-              fail("corrupt bool column");
+              fail_chunk("corrupt bool column");
               return false;
             }
             col.values.push_back(bytes[bpos++] != 0 ? 1 : 0);
@@ -910,7 +951,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
           for (std::uint64_t i = 0; i < count; ++i) {
             std::uint64_t v = 0;
             if (!get_varint(bytes, bpos, v) || v >= dict_.size()) {
-              fail("corrupt string column");
+              fail_chunk("corrupt string column");
               return false;
             }
             col.values.push_back(v);
@@ -921,14 +962,14 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
           break;
       }
       if (bpos != bytes.size()) {
-        fail("trailing bytes in column");
+        fail_chunk("trailing bytes in column");
         return false;
       }
       columns[col_key(static_cast<util::Symbol>(key_sym), type)] =
           std::move(col);
     }
     if (pos != data.size()) {
-      fail("trailing bytes in chunk data");
+      fail_chunk("trailing bytes in chunk data");
       return false;
     }
 
@@ -946,13 +987,13 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
       row.shape = shape_ids[r];
       if (shape.entity_kind == kEntityString) {
         if (str_cursor >= ent_strs.size()) {
-          fail("entity column underrun");
+          fail_chunk("entity column underrun");
           return false;
         }
         row.entity = ent_strs[str_cursor++];
       } else {
         if (int_cursor >= ent_ints.size()) {
-          fail("entity column underrun");
+          fail_chunk("entity column underrun");
           return false;
         }
         row.entity = int_bits(ent_ints[int_cursor++]);
@@ -962,7 +1003,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
         const auto it = columns.find(col_key(key_sym, type));
         if (it == columns.end() ||
             it->second.cursor >= it->second.values.size()) {
-          fail("column underrun (corrupt chunk)");
+          fail_chunk("column underrun (corrupt chunk)");
           return false;
         }
         values_.push_back(it->second.values[it->second.cursor++]);
@@ -971,7 +1012,7 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     }
     for (const auto& [key, col] : columns) {
       if (col.cursor != col.values.size()) {
-        fail("column overrun (corrupt chunk)");
+        fail_chunk("column overrun (corrupt chunk)");
         return false;
       }
     }
@@ -979,6 +1020,8 @@ bool ColReader::load_chunk(bool stats_only, ChunkInfo* info) {
     row_cursor_ = 0;
     ++stats_.chunks_read;
     stats_.rows_decoded += chunk.rows;
+    ++recovery_.salvaged_chunks;
+    note_chunk_salvaged(chunk.rows);
     return true;
   }
 }
@@ -1135,6 +1178,11 @@ std::optional<ColStats> colstore_stats(const std::string& path,
 
 bool write_colstore(const EventLog& log, const std::string& path,
                     ColWriterOptions options) {
+  // The log's durability policy covers both sinks: any non-off fsync
+  // policy also syncs the colstore file before close.
+  if (log.fsync_config().policy != FsyncPolicy::kOff) {
+    options.fsync_on_close = true;
+  }
   ColWriter writer(path, options);
   if (!writer.ok()) {
     util::log_line(util::LogLevel::kWarning,

@@ -19,7 +19,9 @@
 //   * every chunk's meta (dictionary/shape deltas) and data (columns)
 //     sections are squeezed by a small LZ77 block compressor and
 //     guarded by CRC32, so truncation or bit rot is detected, never
-//     silently replayed;
+//     silently replayed; since format v2 the chunk *header* carries its
+//     own CRC32 in the frame, so a torn tail is detectable before any
+//     header field is trusted (the reader still accepts v1 files);
 //   * each chunk header carries min/max simulated time and per-kind
 //     row counts, so a reader can skip whole chunks for time-window or
 //     event-type scans without decoding the column data.
@@ -43,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/recover.hpp"
 #include "util/interner.hpp"
 #include "util/json.hpp"
 
@@ -86,6 +89,9 @@ struct ColWriterOptions {
   /// Rows buffered per chunk; the flush granularity and the unit a
   /// reader decodes (and can skip) at a time.
   std::size_t rows_per_chunk = 65536;
+  /// fsync before closing the file (armed by PANDARUS_EVENTS_FSYNC for
+  /// the env sink); default off, matching the NDJSON sink.
+  bool fsync_on_close = false;
 };
 
 /// Streaming encoder.  Accepts flat event objects (`ts` int, `kind`
@@ -172,13 +178,23 @@ struct ColFilter {
   std::optional<std::int64_t> site;
 };
 
+struct ColReadOptions {
+  /// Salvage mode: a torn or corrupt chunk ends the scan *cleanly* at
+  /// the last valid chunk boundary instead of latching error().  The
+  /// damage is described by recovery() and ok() stays true, so a
+  /// crashed writer's file yields its longest valid prefix.
+  bool recover = false;
+};
+
 /// Out-of-core cursor over a colstore file: holds one decoded chunk at
 /// a time.  A corrupt or truncated chunk stops the scan with ok() ==
-/// false and a non-empty error(); rows decoded before the damage are
-/// still delivered.
+/// false and a non-empty error() — or, with ColReadOptions::recover,
+/// truncates cleanly — and rows decoded before the damage are still
+/// delivered.
 class ColReader {
  public:
-  explicit ColReader(const std::string& path, ColFilter filter = {});
+  explicit ColReader(const std::string& path, ColFilter filter = {},
+                     ColReadOptions options = {});
   ~ColReader();
   ColReader(const ColReader&) = delete;
   ColReader& operator=(const ColReader&) = delete;
@@ -197,6 +213,12 @@ class ColReader {
     std::uint64_t rows_emitted = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Salvage outcome (meaningful with ColReadOptions::recover once the
+  /// scan has ended): how much of the file survived, how much was cut.
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept {
+    return recovery_;
+  }
 
  private:
   friend std::optional<struct ColStats> colstore_stats(const std::string&,
@@ -229,12 +251,20 @@ class ColReader {
     return dict_[sym];
   }
   void fail(const std::string& message);
+  /// Chunk-level damage: fatal normally, a clean truncation (recorded
+  /// in recovery_) under ColReadOptions::recover.
+  void fail_chunk(const std::string& message);
+  /// Marks the stream position as the end of the last valid chunk.
+  void note_chunk_salvaged(std::uint64_t rows);
 
   std::FILE* in_ = nullptr;
   ColFilter filter_;
+  ColReadOptions options_;
+  RecoveryReport recovery_;
   std::string error_;
   bool eof_ = false;
   Stats stats_;
+  std::uint8_t version_ = 0;  ///< file format version from the header
 
   std::deque<std::string> dict_;  ///< deque: views stay stable on growth
   std::unordered_map<std::string_view, util::Symbol> dict_lookup_;

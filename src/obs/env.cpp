@@ -102,14 +102,39 @@ bool install_once() {
     // trace recorder.
     g_env_event_log = new EventLog();
     g_env_event_log->install();
-    // Periodic incremental flush of the published prefix (default off;
-    // needs an NDJSON path to flush into).
-    if (const char* flush_ms = std::getenv("PANDARUS_EVENTS_FLUSH_MS");
-        flush_ms != nullptr && !g_events_path.empty()) {
-      const int interval = std::atoi(flush_ms);
-      if (interval > 0) {
-        g_env_event_log->start_periodic_flush(g_events_path, interval);
+    // Durability policy must be set before the flusher starts so the
+    // very first flush pass already honours it.
+    FsyncConfig fsync_config;
+    if (const char* fsync = std::getenv("PANDARUS_EVENTS_FSYNC");
+        fsync != nullptr && fsync[0] != '\0') {
+      if (parse_fsync_policy(fsync, fsync_config)) {
+        g_env_event_log->set_fsync(fsync_config);
+      } else {
+        util::log_line(util::LogLevel::kWarning,
+                       std::string("obs: bad PANDARUS_EVENTS_FSYNC value "
+                                   "(want off|flush|interval:<ms>): ") +
+                           fsync);
       }
+    }
+    if (const char* delay = std::getenv("PANDARUS_EVENTS_WRITE_DELAY_US");
+        delay != nullptr) {
+      g_env_event_log->set_flush_write_delay_us(std::atoi(delay));
+    }
+    // Periodic incremental flush of the published prefix (default off;
+    // needs an NDJSON path to flush into).  An interval fsync policy
+    // arms it at its own cadence when FLUSH_MS is unset — durable
+    // telemetry needs bytes in flight to the file.
+    int interval = 0;
+    if (const char* flush_ms = std::getenv("PANDARUS_EVENTS_FLUSH_MS");
+        flush_ms != nullptr) {
+      interval = std::atoi(flush_ms);
+    }
+    if (interval <= 0 &&
+        fsync_config.policy == FsyncPolicy::kInterval) {
+      interval = fsync_config.interval_ms;
+    }
+    if (interval > 0 && !g_events_path.empty()) {
+      g_env_event_log->start_periodic_flush(g_events_path, interval);
     }
   }
   if (flows != nullptr) {

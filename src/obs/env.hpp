@@ -41,7 +41,24 @@
 //                            Default off — without it the file is
 //                            written once at exit.  The exit dump still
 //                            rewrites the complete stream, so the final
-//                            bytes are identical either way.
+//                            bytes are identical either way;
+//   PANDARUS_EVENTS_FSYNC=off|flush|interval:<ms>
+//                            durability policy for the event sinks.
+//                            `flush` fsyncs after every flush pass and
+//                            the final write; `interval:<ms>` fsyncs at
+//                            most once per <ms> of wall time.  The
+//                            default `off` issues no fsync and leaves
+//                            every byte-identity guarantee untouched.
+//                            `interval:<ms>` arms the periodic flusher
+//                            at <ms> when PANDARUS_EVENTS_FLUSH_MS is
+//                            unset (durability needs data on its way to
+//                            the file);
+//   PANDARUS_EVENTS_WRITE_DELAY_US=<us>
+//                            crash-injection hook: the flush thread
+//                            sleeps <us> after each 4 KiB block so a
+//                            SIGKILL can land mid-flush (used by
+//                            examples/crash_harness; not for production
+//                            runs).
 //
 // One call near the start of main() is enough; binaries need no other
 // per-binary wiring.

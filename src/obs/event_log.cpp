@@ -1,10 +1,14 @@
 #include "obs/event_log.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <thread>
 
 #include "util/log.hpp"
 
@@ -17,7 +21,34 @@ std::uint64_t next_log_id() noexcept {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// The flush thread writes in blocks this size so the crash harness's
+/// write-delay hook can stretch a flush across many kill opportunities.
+constexpr std::size_t kFlushBlock = 4096;
+
 }  // namespace
+
+bool parse_fsync_policy(std::string_view spec, FsyncConfig& out) {
+  if (spec == "off") {
+    out = FsyncConfig{};
+    return true;
+  }
+  if (spec == "flush") {
+    out = FsyncConfig{FsyncPolicy::kFlush, 0};
+    return true;
+  }
+  constexpr std::string_view kPrefix = "interval:";
+  if (spec.substr(0, kPrefix.size()) == kPrefix) {
+    const std::string_view ms = spec.substr(kPrefix.size());
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(ms.data(), ms.data() + ms.size(), value);
+    if (ec == std::errc() && ptr == ms.data() + ms.size() && value > 0) {
+      out = FsyncConfig{FsyncPolicy::kInterval, value};
+      return true;
+    }
+  }
+  return false;
+}
 
 namespace detail {
 
@@ -252,11 +283,15 @@ void EventLog::close() {
   const std::uint64_t bytes = bytes_written();
   // The terminal line must survive max_events truncation (that is the
   // condition it exists to report), so it bypasses emit()'s bound and
-  // goes straight into the central sink.
+  // goes straight into the central sink.  io_errors/fsyncs make sink
+  // trouble (full disk, failed fsync) visible in replay; both are 0 in
+  // the default configuration, keeping byte-identity across runs.
   Event event = Event("log_stats", 0, std::int64_t{0})
                     .field("events", events)
                     .field("dropped", drops)
-                    .field("bytes", bytes);
+                    .field("bytes", bytes)
+                    .field("io_errors", io_errors())
+                    .field("fsyncs", fsyncs());
   event.line_ += '}';
   bytes_.fetch_add(event.line_.size() + 1, std::memory_order_relaxed);
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -334,8 +369,62 @@ void EventLog::flush_once() {
   std::string chunk;
   flush_cursor_ = snapshot_ndjson(chunk, flush_cursor_);
   if (chunk.empty()) return;
-  std::fwrite(chunk.data(), 1, chunk.size(), flush_file_);
+  // Blockwise so the crash harness's write-delay hook can hold the file
+  // in a torn state between blocks; a plain run takes the loop in one
+  // or a few full-size passes with no extra cost.
+  std::size_t off = 0;
+  while (off < chunk.size()) {
+    const std::size_t want = std::min(chunk.size() - off, kFlushBlock);
+    const std::size_t wrote =
+        std::fwrite(chunk.data() + off, 1, want, flush_file_);
+    if (wrote != want) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!warned_io_error_.exchange(true, std::memory_order_relaxed)) {
+        util::log_line(util::LogLevel::kWarning,
+                       "obs: short write on event flush file");
+      }
+      // Skip the unwritable remainder but keep the cursor advanced:
+      // the final write_ndjson() rewrites the full stream anyway, and
+      // io_errors in log_stats records that this file is suspect.
+      break;
+    }
+    off += wrote;
+    if (flush_write_delay_us_ > 0) {
+      std::fflush(flush_file_);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(flush_write_delay_us_));
+    }
+  }
   std::fflush(flush_file_);
+  sync_flush_file_locked();
+}
+
+void EventLog::sync_flush_file_locked() {
+  if (flush_file_ == nullptr) return;
+  switch (fsync_.policy) {
+    case FsyncPolicy::kOff:
+      return;
+    case FsyncPolicy::kFlush:
+      break;
+    case FsyncPolicy::kInterval: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_fsync_ <
+          std::chrono::milliseconds(fsync_.interval_ms)) {
+        return;
+      }
+      last_fsync_ = now;
+      break;
+    }
+  }
+  if (::fsync(fileno(flush_file_)) == 0) {
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (!warned_io_error_.exchange(true, std::memory_order_relaxed)) {
+      util::log_line(util::LogLevel::kWarning,
+                     "obs: fsync failed on event flush file");
+    }
+  }
 }
 
 void EventLog::flush_loop(int interval_ms) {
@@ -370,12 +459,24 @@ bool EventLog::write_ndjson(const std::string& path) const {
     return false;
   }
   const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
   if (written != text.size()) {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::fclose(f);
     util::log_line(util::LogLevel::kWarning,
                    "obs: short write to event log output file " + path);
     return false;
   }
+  if (fsync_.policy != FsyncPolicy::kOff) {
+    std::fflush(f);
+    if (::fsync(fileno(f)) == 0) {
+      fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      util::log_line(util::LogLevel::kWarning,
+                     "obs: fsync failed on event log output file " + path);
+    }
+  }
+  std::fclose(f);
   return true;
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -47,6 +48,21 @@ void append_json_escaped(std::string& out, std::string_view s);
 /// Finite, round-trippable double rendering (%.17g; non-finite → 0).
 void append_json_double(std::string& out, double v);
 }  // namespace detail
+
+/// Durability level for the file sinks (the PANDARUS_EVENTS_FSYNC
+/// knob).  kOff is the default and leaves every existing byte-identity
+/// guarantee untouched; kFlush fsyncs after each flush pass; kInterval
+/// fsyncs at most once per `interval_ms` of wall time.
+enum class FsyncPolicy { kOff, kFlush, kInterval };
+
+struct FsyncConfig {
+  FsyncPolicy policy = FsyncPolicy::kOff;
+  int interval_ms = 0;  ///< kInterval only
+};
+
+/// Parses "off" | "flush" | "interval:<ms>" (case-sensitive); false on
+/// a malformed spec, leaving `out` unchanged.
+bool parse_fsync_policy(std::string_view spec, FsyncConfig& out);
 
 /// Builder for one event line.  The constructor writes the common
 /// prefix (`ts`, `kind`, `entity`); field() appends one key/value pair
@@ -153,6 +169,31 @@ class EventLog {
   /// and the file holds the complete stream).  Idempotent.
   void stop_periodic_flush();
 
+  /// Sets the durability policy for the flush thread and
+  /// write_ndjson().  Call before start_periodic_flush(); with kOff
+  /// (the default) no fsync is ever issued.
+  void set_fsync(FsyncConfig config) noexcept { fsync_ = config; }
+  [[nodiscard]] FsyncConfig fsync_config() const noexcept { return fsync_; }
+
+  /// Crash-injection hook (PANDARUS_EVENTS_WRITE_DELAY_US): the flush
+  /// thread sleeps this long after every 4 KiB block it writes, holding
+  /// the file in a torn, partially flushed state long enough for a
+  /// SIGKILL to land mid-flush deterministically.  Zero disables.
+  void set_flush_write_delay_us(int us) noexcept {
+    flush_write_delay_us_ = us < 0 ? 0 : us;
+  }
+
+  /// Short writes and failed fsyncs observed by any sink path.  These
+  /// are surfaced in the terminal log_stats line and by /healthz, so a
+  /// full disk is visible in replay instead of silently truncating.
+  [[nodiscard]] std::uint64_t io_errors() const noexcept {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
+  /// Successful fsync calls issued under the active FsyncPolicy.
+  [[nodiscard]] std::uint64_t fsyncs() const noexcept {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t event_count() const;
   [[nodiscard]] std::uint64_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
@@ -197,6 +238,8 @@ class EventLog {
   void note_drained_locked(std::uint64_t seq);
   void flush_loop(int interval_ms);
   void flush_once();
+  /// fsyncs flush_file_ per fsync_ policy; flush_mutex_ held.
+  void sync_flush_file_locked();
 
   static std::atomic<EventLog*> g_installed;
 
@@ -206,6 +249,11 @@ class EventLog {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  // mutable: write_ndjson() is logically const but must account I/O
+  // failures it observes.
+  mutable std::atomic<std::uint64_t> io_errors_{0};
+  mutable std::atomic<std::uint64_t> fsyncs_{0};
+  mutable std::atomic<bool> warned_io_error_{false};
   std::atomic<bool> warned_dropped_{false};
   std::atomic<bool> closed_{false};
   mutable std::mutex mutex_;
@@ -225,6 +273,11 @@ class EventLog {
   std::FILE* flush_file_ = nullptr;
   std::uint64_t flush_cursor_ = 0;
   bool flush_stop_ = false;
+
+  // Durability (PANDARUS_EVENTS_FSYNC) + crash-window hook.
+  FsyncConfig fsync_;
+  int flush_write_delay_us_ = 0;
+  std::chrono::steady_clock::time_point last_fsync_{};
 };
 
 }  // namespace pandarus::obs

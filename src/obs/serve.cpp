@@ -164,11 +164,19 @@ HttpResponse StatusServer::handle(const HttpRequest& request) {
             nullptr};
   }
   if (request.path == "/healthz") {
-    std::string body = "{\"status\":\"ok\",\"requests\":" +
-                       std::to_string(http_.requests_served());
+    const EventLog* health_log = EventLog::installed();
+    const bool degraded =
+        health_log != nullptr && health_log->io_errors() > 0;
+    std::string body = degraded ? "{\"status\":\"degraded\""
+                                : "{\"status\":\"ok\"";
+    body += ",\"requests\":" + std::to_string(http_.requests_served());
     if (const EventLog* log = EventLog::installed()) {
       body += ",\"event_log\":true,\"watermark\":" +
               std::to_string(log->watermark());
+      // Sink I/O failures flip the health verdict: the process is up,
+      // but its durable record is suspect.
+      body += ",\"io_errors\":" + std::to_string(log->io_errors());
+      body += ",\"fsyncs\":" + std::to_string(log->fsyncs());
     } else {
       body += ",\"event_log\":false";
     }

@@ -17,6 +17,7 @@
 #include "obs/sampler.hpp"
 #include "obs/serve.hpp"
 #include "obs/trace.hpp"
+#include "scenario/checkpoint.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/io.hpp"
 #include "telemetry/recorder.hpp"
@@ -354,6 +355,36 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
   workload.start(arrivals_until);
   phase_span.reset();
 
+  // Per-day checkpointing (config.checkpoint_dir / PANDARUS_CHECKPOINT)
+  // and the resume-verification seam share one observation point: the
+  // day boundary, right after that day's publish().  Assembling the
+  // fingerprints costs a few container walks per simulated day and is
+  // skipped entirely when neither consumer is armed, so default runs
+  // stay byte- and cost-identical.
+  CheckpointWriter checkpoints(config);
+  const auto day_boundary = [&](std::int64_t day) {
+    if (!checkpoints.active()) return;
+    detail::DayBoundary boundary;
+    boundary.day = day;
+    boundary.sim_now = scheduler.now();
+    boundary.store = &result.store;
+    boundary.log = obs::EventLog::installed();
+    obs::FlowTracker* flows = obs::FlowTracker::installed();
+    boundary.flows_installed = flows != nullptr;
+    Fingerprint& f = boundary.fingerprint;
+    f.scheduler_processed = scheduler.processed_count();
+    f.scheduler_queued = scheduler.queued_count();
+    f.transfer_digest = engine.state_digest();
+    f.injector_digest = injector ? injector->state_digest() : 0;
+    f.flow_digest = flows != nullptr ? flows->state_digest() : 0;
+    const telemetry::MetadataStore::Counts counts = result.store.counts();
+    f.store_jobs = counts.jobs;
+    f.store_files = counts.files;
+    f.store_transfers = counts.transfers;
+    checkpoints.on_day_boundary(boundary);
+    detail::notify_day_boundary(boundary);
+  };
+
   // The drain loop is segmented at simulated-day boundaries purely for
   // observability: run_until over consecutive prefixes fires the same
   // events in the same order as one call, and each segment becomes a
@@ -379,6 +410,7 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
       // Publish this day's events so snapshot readers (serve, periodic
       // flush) can see a consistent prefix while the campaign runs.
       if (obs::EventLog* log = obs::EventLog::installed()) log->publish();
+      day_boundary(day);
     }
   }
   phase_span.emplace("campaign/post_process", "scenario");

@@ -1,0 +1,196 @@
+// Campaign checkpoint/resume (replay-validated).
+//
+// A pandarus campaign is a deterministic function of its config: the
+// scheduler's event closures capture live object references and cannot
+// be serialized, so a checkpoint does NOT try to freeze the heap.
+// Instead it snapshots, at each simulated-day boundary, everything
+// needed to *prove* that a re-execution has reconverged with the
+// crashed run:
+//
+//   - a digest of the determinism-relevant config knobs,
+//   - fingerprints of every stateful component (scheduler event
+//     counts, TransferEngine/Injector/FlowTracker state_digest()s),
+//   - the full MetadataStore as CSV blobs,
+//   - the byte count and CRC32 of the EventLog's published NDJSON
+//     prefix at that boundary.
+//
+// resume_campaign() then re-executes the campaign from its seed with a
+// fresh EventLog and, at the checkpointed day, verifies that every
+// fingerprint, the store blobs, and the regenerated prefix CRC match
+// the snapshot.  When they do, the regenerated stream is bit-identical
+// to the crashed run's, so its suffix can be spliced onto whatever
+// prefix obs::recover salvaged from disk:
+//
+//   salvaged == full[:salvaged.size()]           (prefix invariant)
+//   salvaged + full[salvaged.size():] == uninterrupted run   (parity)
+//
+// Snapshot files are self-validating: magic + length-framed payload +
+// trailing CRC32, written tmp→fsync→rename so a crash mid-write never
+// leaves a loadable-but-torn file.  load_latest_checkpoint() walks the
+// directory newest-day-first and skips snapshots that fail validation,
+// so a torn final snapshot silently falls back to the previous day.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "scenario/campaign.hpp"
+#include "scenario/config.hpp"
+#include "util/crc32.hpp"
+
+namespace pandarus::obs {
+class EventLog;
+}  // namespace pandarus::obs
+
+namespace pandarus::scenario {
+
+/// Deterministic digests of every stateful campaign component at one
+/// simulated-day boundary.  Two runs of the same config agree on all
+/// fields at equal boundaries; a mismatch on resume means the re-run
+/// diverged (wrong config, wrong build) and the resume is rejected.
+struct Fingerprint {
+  std::uint64_t scheduler_processed = 0;
+  std::uint64_t scheduler_queued = 0;
+  std::uint64_t transfer_digest = 0;
+  std::uint64_t injector_digest = 0;  ///< 0 when no injector is armed
+  std::uint64_t flow_digest = 0;      ///< 0 when no FlowTracker installed
+  std::uint64_t store_jobs = 0;
+  std::uint64_t store_files = 0;
+  std::uint64_t store_transfers = 0;
+
+  [[nodiscard]] bool operator==(const Fingerprint&) const = default;
+};
+
+/// One per-day snapshot.  `store_*_csv` carry the full MetadataStore so
+/// verification compares actual content, not just counts.
+struct Checkpoint {
+  std::uint64_t config_digest = 0;
+  std::int64_t day = -1;     ///< day index just completed (0-based)
+  std::int64_t sim_now = 0;  ///< scheduler time at the boundary
+  // EventLog state at the boundary.
+  std::uint64_t log_watermark = 0;
+  std::uint64_t log_accepted = 0;
+  std::uint64_t log_dropped = 0;
+  std::uint64_t log_bytes = 0;
+  /// Published-prefix NDJSON at the boundary: byte count and CRC32.
+  std::uint64_t prefix_bytes = 0;
+  std::uint32_t prefix_crc = 0;
+  bool flows_installed = false;
+  Fingerprint fingerprint;
+  std::string store_jobs_csv;
+  std::string store_files_csv;
+  std::string store_transfers_csv;
+};
+
+/// Digest of the determinism-relevant ScenarioConfig knobs; stored in
+/// every snapshot so a resume with a different config is rejected
+/// instead of producing a silently wrong splice.
+[[nodiscard]] std::uint64_t config_digest(const ScenarioConfig& config);
+
+/// Writes `ckpt` to `<dir>/ckpt-day-NNNN.pckpt` (tmp + fsync + rename).
+/// False (with a warning logged) on I/O failure.
+bool write_checkpoint(const Checkpoint& ckpt, const std::string& dir);
+
+/// Parses and validates one snapshot file.  nullopt (with `error` set
+/// when non-null) on open failure, bad magic, short payload, or CRC
+/// mismatch.
+std::optional<Checkpoint> load_checkpoint_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+/// Highest-day valid snapshot in `dir`; torn or corrupt snapshots are
+/// skipped (falling back to earlier days).  nullopt when none loads.
+std::optional<Checkpoint> load_latest_checkpoint(const std::string& dir,
+                                                 std::string* error = nullptr);
+
+namespace detail {
+
+/// Everything the campaign drain loop exposes at a day boundary (after
+/// that day's publish()).  Handed to the installed observer and to the
+/// CheckpointWriter.
+struct DayBoundary {
+  std::int64_t day = 0;
+  std::int64_t sim_now = 0;
+  Fingerprint fingerprint;
+  const telemetry::MetadataStore* store = nullptr;
+  obs::EventLog* log = nullptr;  ///< installed log; may be null
+  bool flows_installed = false;
+};
+
+using DayBoundaryHook = std::function<void(const DayBoundary&)>;
+
+/// Installs the process-wide day-boundary observer, returning the
+/// previous one.  resume_campaign() uses this seam to verify
+/// fingerprints mid-run; while a hook is installed, CheckpointWriter
+/// suppresses snapshot writing (the verify re-run must not clobber the
+/// crashed run's snapshots).  Campaigns are single-threaded; this seam
+/// is not thread-safe and must not be raced with a running campaign.
+DayBoundaryHook exchange_day_boundary_hook(DayBoundaryHook hook);
+[[nodiscard]] bool day_boundary_hook_installed();
+void notify_day_boundary(const DayBoundary& boundary);
+
+}  // namespace detail
+
+/// Owned by run_campaign(): resolves the snapshot directory from
+/// `config.checkpoint_dir`, falling back to the PANDARUS_CHECKPOINT
+/// environment variable, and writes one snapshot per completed day.
+/// Inert when neither names a directory or a verification hook is
+/// installed.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(const ScenarioConfig& config);
+
+  /// True when day boundaries must assemble a DayBoundary record —
+  /// either to write snapshots or to feed an installed observer.
+  [[nodiscard]] bool active() const;
+
+  void on_day_boundary(const detail::DayBoundary& boundary);
+
+  [[nodiscard]] std::uint64_t snapshots_written() const noexcept {
+    return written_;
+  }
+
+ private:
+  std::uint64_t config_digest_ = 0;
+  std::string dir_;
+  std::uint64_t cursor_ = 0;  ///< snapshot_ndjson() resume cursor
+  std::uint64_t prefix_bytes_ = 0;
+  util::Crc32 prefix_crc_;  ///< running CRC of the published prefix
+  std::uint64_t written_ = 0;
+};
+
+/// Result of resume_campaign().  When `had_checkpoint`, `ok` requires
+/// both verification bits; `full_ndjson` is the regenerated complete
+/// stream (byte-identical to an uninterrupted run) and `suffix` is the
+/// part after the checkpointed prefix.  Callers splice at whatever
+/// prefix length they actually salvaged from disk:
+///   final = salvaged + full_ndjson.substr(salvaged.size())
+/// after checking salvaged == full_ndjson[:salvaged.size()].
+struct ResumeOutcome {
+  bool ok = false;
+  std::string error;
+  bool had_checkpoint = false;
+  std::int64_t resumed_day = -1;
+  std::uint64_t prefix_bytes = 0;
+  bool fingerprint_verified = false;
+  bool prefix_verified = false;
+  Checkpoint checkpoint;
+  ScenarioResult result;
+  std::string full_ndjson;
+  std::string suffix;
+};
+
+/// Re-executes the campaign deterministically with a fresh EventLog
+/// (and FlowTracker, when the snapshot says one was installed),
+/// verifying reconvergence against the newest valid snapshot in
+/// `checkpoint_dir`.  With no loadable snapshot the run proceeds as a
+/// plain from-scratch execution (`had_checkpoint == false`, still ok).
+/// A config digest mismatch or failed verification yields ok == false.
+/// Installs its own EventLog for the duration and uninstalls it before
+/// returning; the caller must not have one installed (resume refuses
+/// with an error rather than clobbering a live log).
+ResumeOutcome resume_campaign(const ScenarioConfig& config,
+                              const std::string& checkpoint_dir);
+
+}  // namespace pandarus::scenario

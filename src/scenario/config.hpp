@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include <string>
 #include <vector>
 
 #include "dms/rule.hpp"
@@ -79,6 +80,12 @@ struct ScenarioConfig {
   /// bit-identical to a fault-free build.
   fault::Plan::SampleParams faults{};
   std::vector<fault::FaultWindow> fault_windows;
+
+  /// Directory for per-day scenario::Checkpoint snapshots; empty (the
+  /// default) disables checkpointing.  The PANDARUS_CHECKPOINT
+  /// environment variable supplies a fallback when this is empty, so
+  /// existing binaries gain crash-resumable campaigns without a rebuild.
+  std::string checkpoint_dir;
 
   /// Turns on the transfer engine's recovery stack (exponential backoff,
   /// per-link circuit breaker, alternate-source retry, deeper retry

@@ -54,6 +54,12 @@ class Scheduler {
   [[nodiscard]] std::uint64_t processed_count() const noexcept {
     return processed_;
   }
+  /// Heap entries still queued (cancelled-but-unswept entries count;
+  /// the pair (processed, queued) is a cheap deterministic fingerprint
+  /// of scheduler progress used by scenario::Checkpoint).
+  [[nodiscard]] std::uint64_t queued_count() const noexcept {
+    return queue_.size();
+  }
 
   /// Schedules `fn` at absolute time `t`; times in the past are clamped
   /// to now() so causality is never violated.

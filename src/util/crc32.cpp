@@ -1,0 +1,42 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace pandarus::util {
+namespace {
+
+const std::array<std::uint32_t, 256>& crc_table() noexcept {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t advance(std::uint32_t state, std::string_view data) noexcept {
+  const auto& table = crc_table();
+  for (const char ch : data) {
+    state = table[(state ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  return advance(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+void Crc32::update(std::string_view data) noexcept {
+  state_ = advance(state_, data);
+}
+
+}  // namespace pandarus::util
