@@ -316,6 +316,82 @@ void BM_ColstoreScanFiltered(benchmark::State& state) {
 }
 BENCHMARK(BM_ColstoreScanFiltered)->Unit(benchmark::kMillisecond);
 
+// --- health detectors + metric query ------------------------------------
+
+/// Synthetic feed through every typed detector path: sampler rows,
+/// link probes, breaker transitions, terminal transfers.  Each
+/// iteration is one fresh epoch (the ts regression at iteration start
+/// exercises the reset path exactly like repeated campaigns do).
+void BM_HealthDetectors(benchmark::State& state) {
+  constexpr int kTicks = 1000;
+  const std::vector<std::string> names = {
+      "jobs_queued", "pandarus_match_candidates_scanned_total",
+      "pandarus_match_jobs_matched_total", "events_dropped"};
+  std::uint64_t fired = 0;
+  std::uint64_t observations = 0;
+  for (auto _ : state) {
+    obs::HealthEngine engine;
+    engine.set_emit_events(false);
+    for (int i = 0; i < kTicks; ++i) {
+      const std::int64_t ts = 1000 + 1800 * i;
+      // Queue depth spikes every 100 ticks; counters keep advancing.
+      const std::int64_t depth = i % 100 == 7 ? 5000 : 40 + i % 5;
+      engine.on_sample(ts, names,
+                       {depth, 100 * i, 60 * i, 0});
+      engine.on_link_sample(ts, i % 8, (i + 1) % 8, i % 4,
+                            i % 50 == 3 ? 1.0 : (i % 10) / 20.0);
+      engine.on_transfer_terminal(
+          ts, i % 7 != 0, i % 21 == 0 ? "stalled_terminal" : "none",
+          100 + (i % 1000) * 10);
+      if (i % 200 == 0) engine.on_breaker(ts, 0, 1, i % 400 == 0);
+    }
+    const auto counts = engine.counts();
+    fired = counts.fired;
+    observations = counts.observations;
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(observations));
+  state.counters["observations_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(observations),
+      benchmark::Counter::kIsRate);
+  state.counters["alerts_fired"] = static_cast<double>(fired);
+}
+BENCHMARK(BM_HealthDetectors)->Unit(benchmark::kMillisecond);
+
+/// Out-of-core metric query scan throughput over the recorded
+/// campaign's colstore encoding: filter + bucket + group + quantile,
+/// the pandarus-query hot path.
+void BM_MetricQueryScan(benchmark::State& state) {
+  const std::string& path = encoded_colstore();
+  analysis::MetricQuerySpec spec;
+  spec.kinds = {"transfer_done"};
+  spec.bucket_ms = 3'600'000;
+  spec.group_by = {"dst"};
+  spec.value_field = "bytes";
+  spec.aggregates = {analysis::MetricAggregate::kCount,
+                     analysis::MetricAggregate::kSum,
+                     analysis::MetricAggregate::kP95};
+  std::uint64_t scanned = 0;
+  std::uint64_t rows = 0;
+  for (auto _ : state) {
+    auto source = analysis::open_event_source(path);
+    const analysis::MetricQueryResult result =
+        analysis::run_metric_query(*source, spec);
+    scanned = result.events_scanned;
+    rows = result.rows.size();
+    benchmark::DoNotOptimize(result.rows);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scanned));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(scanned),
+      benchmark::Counter::kIsRate);
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_MetricQueryScan)->Unit(benchmark::kMillisecond);
+
 void BM_SchedulerThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::Scheduler scheduler;

@@ -8,9 +8,11 @@
 //       sim-time span, per-kind counts.  Colstore stats walk only the
 //       chunk headers and dictionary deltas — no column data decoded.
 //   pandarus-events cat <colstore> [--type <kind>]... [--from <ms>]
-//                    [--to <ms>] [--site <id>]
+//                    [--to <ms>] [--site <id>] [--limit <n>] [--tail <n>]
 //       Filtered scan, NDJSON lines on stdout.  Kind and time-window
-//       predicates skip whole chunks via the footer index.
+//       predicates skip whole chunks via the footer index; --limit
+//       stops after the first N matches, --tail keeps only the last N
+//       (ring buffer — bounded memory on any file size).
 //   pandarus-events match <file>
 //       Replays the stream (either format), rebuilds the MetadataStore
 //       and runs the three matching methods; JSON counts on stdout.
@@ -47,6 +49,7 @@ int usage() {
          "       pandarus-events stats <file>\n"
          "       pandarus-events cat <colstore> [--type <kind>]...\n"
          "                       [--from <ms>] [--to <ms>] [--site <id>]\n"
+         "                       [--limit <n>] [--tail <n>]\n"
          "       pandarus-events match <file>\n"
          "       pandarus-events recover <in> [<out>]\n";
   return 2;
@@ -175,6 +178,8 @@ int cmd_stats(const std::string& path) {
 int cmd_cat(int argc, char** argv) {
   const std::string path = argv[2];
   pandarus::obs::ColFilter filter;
+  std::int64_t limit = -1;  // emit at most N matching rows, then stop
+  std::int64_t tail = -1;   // emit only the last N matching rows
   for (int i = 3; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto int_arg = [&](std::optional<std::int64_t>& slot) -> bool {
@@ -191,28 +196,69 @@ int cmd_cat(int argc, char** argv) {
       ok = int_arg(filter.ts_to);
     } else if (arg == "--site") {
       ok = int_arg(filter.site);
+    } else if (arg == "--limit" && i + 1 < argc) {
+      limit = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--tail" && i + 1 < argc) {
+      tail = std::strtoll(argv[++i], nullptr, 10);
     } else {
       ok = false;
     }
     if (!ok) return usage();
   }
+  if (limit >= 0 && tail >= 0) {
+    std::cerr << "--limit and --tail are mutually exclusive\n";
+    return usage();
+  }
   pandarus::obs::ColReader reader(path, filter);
   pandarus::obs::DecodedEvent event;
   std::string line;
+  std::uint64_t emitted = 0;
+  // --tail keeps a ring of the last N rendered lines (bounded memory),
+  // so inspecting the end of a large file never prints the whole scan.
+  std::vector<std::string> ring;
+  std::size_t ring_next = 0;
+  if (tail > 0) ring.resize(static_cast<std::size_t>(tail));
   while (reader.next(event)) {
     line.clear();
     pandarus::obs::append_ndjson(event, line);
     line += '\n';
+    if (tail >= 0) {
+      if (tail > 0) {
+        ring[ring_next] = line;
+        ring_next = (ring_next + 1) % ring.size();
+      }
+      ++emitted;
+      continue;
+    }
+    if (limit >= 0 && emitted >= static_cast<std::uint64_t>(limit)) break;
     std::fwrite(line.data(), 1, line.size(), stdout);
+    ++emitted;
+  }
+  std::uint64_t printed = emitted;
+  if (tail >= 0) {
+    printed = 0;
+    if (tail > 0) {
+      const std::uint64_t have =
+          std::min<std::uint64_t>(emitted, ring.size());
+      // Oldest retained line sits at ring_next once the ring has wrapped.
+      std::size_t at = emitted >= ring.size() ? ring_next : 0;
+      for (std::uint64_t n = 0; n < have; ++n) {
+        const std::string& kept = ring[at];
+        std::fwrite(kept.data(), 1, kept.size(), stdout);
+        at = (at + 1) % ring.size();
+      }
+      printed = have;
+    }
   }
   if (!reader.ok()) {
     std::cerr << "scan stopped early: " << reader.error() << "\n";
     return 1;
   }
   const auto& s = reader.stats();
-  std::cerr << "emitted " << s.rows_emitted << " of " << s.rows_decoded
-            << " decoded rows; " << s.chunks_read << " chunk(s) read, "
-            << s.chunks_skipped << " skipped\n";
+  std::cerr << "emitted " << printed << " of " << s.rows_emitted
+            << " matching rows (" << s.rows_decoded << " decoded); "
+            << s.chunks_read << " chunk(s) read, " << s.chunks_skipped
+            << " skipped\n";
   return 0;
 }
 

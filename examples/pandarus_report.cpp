@@ -9,9 +9,11 @@
 // the transfer heatmap.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "analysis/events_replay.hpp"
+#include "analysis/health_replay.hpp"
 #include "analysis/report_html.hpp"
 
 int main(int argc, char** argv) {
@@ -37,12 +39,20 @@ int main(int argc, char** argv) {
             << replay.store.transfers().size() << " transfers, "
             << replay.samples.size() << " sampler ticks\n";
 
+  // Second streaming pass through the health detectors: the report's
+  // alert timeline and SLO table come from the same engine /api/alerts
+  // serves, derived out-of-core from the file.
+  const std::unique_ptr<obs::HealthEngine> health =
+      analysis::derive_health_file(events_path);
+
   std::ofstream out(html_path);
   if (!out) {
     std::cerr << "pandarus-report: cannot write " << html_path << '\n';
     return 1;
   }
-  analysis::write_html_report(out, replay);
+  analysis::HtmlReportOptions options;
+  options.health = health.get();
+  analysis::write_html_report(out, replay, options);
   std::cout << "wrote " << html_path << '\n';
   return 0;
 }

@@ -49,7 +49,7 @@ void linger() {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--port N] [--days D] [--seed S]"
-               " [--preset small|paper] [--once]\n"
+               " [--preset small|paper] [--chaos I] [--once]\n"
             << "       " << argv0 << " --replay <events-file> [--port N]\n";
   return 2;
 }
@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 0;
   double days = 0.0;  // 0: keep the preset's default
   std::uint64_t seed = 20250401;  // the benches' kDefaultSeed
+  double chaos = 0.0;  // fault intensity; >0 also arms self-healing
   bool once = false;
   bool small = false;
   std::string replay_path;
@@ -80,6 +81,8 @@ int main(int argc, char** argv) {
       } else if (preset != "paper") {
         return usage(argv[0]);
       }
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      chaos = std::strtod(argv[++i], nullptr);
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_path = argv[++i];
     } else if (arg == "--once") {
@@ -107,7 +110,14 @@ int main(int argc, char** argv) {
       std::cerr << "pandarus-serve: cannot bind 127.0.0.1:" << port << "\n";
       return 1;
     }
-    analysis::attach_replay_status(server, replay);
+    // /api/alerts is derived by a second streaming pass through the
+    // health detectors — the replay twin of a live PANDARUS_ALERTS run.
+    std::shared_ptr<const std::string> alerts_json;
+    if (auto health = analysis::derive_health_file(replay_path)) {
+      alerts_json =
+          std::make_shared<const std::string>(health->status_json());
+    }
+    analysis::attach_replay_status(server, replay, alerts_json);
     std::cout << "serving replay of " << replay_path << " ("
               << replay->lines_parsed << " lines) on http://127.0.0.1:"
               << server.port() << "/\n"
@@ -147,6 +157,13 @@ int main(int argc, char** argv) {
                                         : scenario::ScenarioConfig::paper_scale();
   if (days > 0.0) config.days = days;
   config.seed = seed;
+  if (chaos > 0.0) {
+    // The chaos_sweep recipe: sampled infrastructure faults plus the
+    // self-healing controls, so breakers open/close and the health
+    // detectors have something real to fire on.
+    config.faults.intensity = chaos;
+    config.with_self_healing();
+  }
   std::cout << "running a " << config.days << "-day campaign (seed "
             << config.seed << ") ...\n"
             << std::flush;

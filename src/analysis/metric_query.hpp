@@ -1,0 +1,81 @@
+// Out-of-core metric query engine: filter / time-bucket / group-by /
+// aggregate over an event stream, streaming one event at a time through
+// analysis::EventSource so a 10M-event campaign never has to fit in
+// memory.  Working state is one accumulator per (bucket, group) cell —
+// quantiles use the registry's P² sketches, so each cell is O(1) bytes
+// regardless of how many events land in it.
+//
+// Both container formats run through the same accumulators in stream
+// order, and the colstore round-trip is exact, so a query over a
+// campaign's NDJSON and its colstore encoding produces byte-identical
+// JSON — the property the CI parity gate checks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/event_source.hpp"
+
+namespace pandarus::analysis {
+
+enum class MetricAggregate {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kMean,
+  kP50,
+  kP95,
+  kP99,
+};
+
+/// "count" | "sum" | "min" | "max" | "mean" | "p50" | "p95" | "p99";
+/// false on anything else.
+bool parse_metric_aggregate(std::string_view name, MetricAggregate& out);
+[[nodiscard]] std::string_view metric_aggregate_name(MetricAggregate agg);
+
+struct MetricQuerySpec {
+  /// Event kinds to keep; empty keeps everything.
+  std::vector<std::string> kinds;
+  std::int64_t ts_from = std::numeric_limits<std::int64_t>::min();
+  std::int64_t ts_to = std::numeric_limits<std::int64_t>::max();
+  /// Bucket width in simulated ms; 0 = one bucket spanning the stream.
+  std::int64_t bucket_ms = 0;
+  /// Field names whose values form the group key ("kind" selects the
+  /// event kind; missing fields group under "").
+  std::vector<std::string> group_by;
+  /// Field the value aggregates read; count works without one.
+  std::string value_field;
+  std::vector<MetricAggregate> aggregates = {MetricAggregate::kCount};
+};
+
+struct MetricQueryRow {
+  std::int64_t bucket_start = 0;  ///< inclusive; 0 when bucket_ms == 0
+  std::vector<std::string> group;
+  std::vector<double> values;  ///< parallel to spec.aggregates
+  std::uint64_t events = 0;    ///< events that landed in this cell
+};
+
+struct MetricQueryResult {
+  std::vector<MetricQueryRow> rows;  ///< sorted by (bucket, group)
+  std::uint64_t events_scanned = 0;  ///< events read from the source
+  std::uint64_t events_matched = 0;  ///< events past the filters
+  std::size_t source_skipped = 0;
+  std::string source_error;
+};
+
+/// Streams `source` to exhaustion through the spec's filters and
+/// accumulators.
+MetricQueryResult run_metric_query(EventSource& source,
+                                   const MetricQuerySpec& spec);
+
+/// Deterministic JSON document (spec echo + rows); doubles rendered
+/// with the shared %.17g writer so NDJSON/colstore outputs are
+/// byte-comparable.
+void write_metric_query_json(std::ostream& out, const MetricQuerySpec& spec,
+                             const MetricQueryResult& result);
+
+}  // namespace pandarus::analysis

@@ -17,6 +17,7 @@
 #include "core/exact.hpp"
 #include "core/relaxed.hpp"
 #include "dms/did.hpp"
+#include "obs/health.hpp"
 #include "util/format.hpp"
 
 namespace pandarus::analysis {
@@ -322,6 +323,82 @@ void write_fault_section(std::ostream& os, const ReplayResult& replay) {
   }
 }
 
+void write_health_section(std::ostream& os, const ReplayResult& replay,
+                          const obs::HealthEngine& health) {
+  const std::vector<obs::AlertTransition> transitions = health.transitions();
+  const std::vector<obs::SloStatus> slos = health.slos();
+  const obs::HealthEngine::Counts counts = health.counts();
+  os << "<h2>Health (replay-derived detectors)</h2>"
+     << "<p>" << counts.observations << " observations, " << counts.fired
+     << " alert(s) fired, " << counts.resolved << " resolved, "
+     << counts.active_firing << " still firing</p>";
+
+  if (!slos.empty()) {
+    os << "<h3>SLO burn rates</h3>"
+       << "<table><tr><th>objective</th><th>target</th><th>good</th>"
+       << "<th>bad</th><th>burn (fast)</th><th>burn (slow)</th></tr>";
+    for (const obs::SloStatus& slo : slos) {
+      os << "<tr><td>" << esc(slo.name) << "</td><td>"
+         << util::format_fixed(slo.target, 3) << "</td><td>" << slo.good
+         << "</td><td>" << slo.bad << "</td><td>"
+         << util::format_fixed(slo.burn_fast, 2) << "</td><td>"
+         << util::format_fixed(slo.burn_slow, 2) << "</td></tr>";
+    }
+    os << "</table>";
+  }
+
+  if (transitions.empty()) {
+    os << "<p>no alert transitions in this stream</p>";
+    return;
+  }
+
+  // Timeline: one row per (detector, entity); each firing span becomes
+  // a bar between the firing and resolved transitions (an unresolved
+  // firing extends to the window end).
+  struct Span {
+    std::int64_t begin = 0;
+    std::int64_t end = -1;
+    bool critical = false;
+  };
+  std::map<std::pair<std::string, std::string>, std::vector<Span>> rows;
+  for (const obs::AlertTransition& t : transitions) {
+    auto& spans = rows[{t.detector, t.entity}];
+    if (t.phase == obs::AlertPhase::kFiring) {
+      spans.push_back({t.ts, -1, t.severity == "critical"});
+    } else if (t.phase == obs::AlertPhase::kResolved && !spans.empty() &&
+               spans.back().end < 0) {
+      spans.back().end = t.ts;
+    }
+  }
+  const std::int64_t begin = replay.window_begin;
+  const std::int64_t end =
+      std::max(replay.window_end, begin + 1);
+  const double span_ms = static_cast<double>(end - begin);
+  os << "<h3>Alert timeline (" << transitions.size() << " transitions)</h3>"
+     << "<table><tr><th>detector</th><th>entity</th><th>fires</th>"
+     << "<th>timeline</th></tr>";
+  for (const auto& [key, spans] : rows) {
+    os << "<tr><td>" << esc(key.first) << "</td><td>" << esc(key.second)
+       << "</td><td>" << spans.size()
+       << "</td><td><svg width=\"260\" height=\"12\">"
+       << "<rect x=\"0\" y=\"4\" width=\"260\" height=\"4\" fill=\"#eee\"/>";
+    for (const Span& s : spans) {
+      const double x0 = std::clamp(
+          static_cast<double>(s.begin - begin) / span_ms, 0.0, 1.0);
+      const double x1 = std::clamp(
+          static_cast<double>((s.end < 0 ? end : s.end) - begin) / span_ms,
+          x0, 1.0);
+      os << "<rect x=\"" << util::format_fixed(x0 * 260.0, 1)
+         << "\" y=\"2\" width=\""
+         << util::format_fixed(std::max((x1 - x0) * 260.0, 1.5), 1)
+         << "\" height=\"8\" fill=\"" << (s.critical ? "#c33" : "#e90")
+         << "\"/>";
+    }
+    os << "</svg></td></tr>";
+  }
+  os << "</table>";
+}
+
 void write_sampler_section(std::ostream& os, const ReplayResult& replay) {
   if (replay.samples.empty()) return;
   os << "<h2>Sampled time series (" << replay.samples.size() << " ticks, "
@@ -473,6 +550,9 @@ void write_html_report(std::ostream& os, const ReplayResult& replay,
 
   write_flow_section(os, replay);
   write_fault_section(os, replay);
+  if (options.health != nullptr) {
+    write_health_section(os, replay, *options.health);
+  }
   write_sampler_section(os, replay);
   write_heatmap_section(os, replay);
 

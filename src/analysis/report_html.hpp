@@ -12,6 +12,10 @@
 #include "analysis/events_replay.hpp"
 #include "util/time.hpp"
 
+namespace pandarus::obs {
+class HealthEngine;
+}
+
 namespace pandarus::analysis {
 
 struct HtmlReportOptions {
@@ -23,6 +27,9 @@ struct HtmlReportOptions {
   std::size_t breakdown_top_n = 10;
   /// Transfer time must exceed this share of queuing time to qualify.
   double breakdown_min_fraction = 0.1;
+  /// Replay-derived health engine (analysis::derive_health) for the
+  /// alert-timeline and SLO sections; both are skipped when null.
+  const obs::HealthEngine* health = nullptr;
 };
 
 /// Re-runs the three matching methods on the replayed store and writes

@@ -16,6 +16,7 @@
 #include "core/relaxed.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
+#include "obs/health.hpp"
 #include "obs/serve.hpp"
 
 namespace pandarus::analysis {
@@ -282,10 +283,20 @@ void attach_live_status(obs::StatusServer& server) {
     return critical_path_json(totals, ranking, cache->site_names,
                               cache->watermark, tracker);
   });
+  server.set_json_endpoint("/api/alerts", [] {
+    // Straight from the installed engine's mutex-guarded state — the
+    // same document a replay of the published stream derives, which is
+    // exactly what the CI parity gate compares.
+    if (obs::HealthEngine* health = obs::HealthEngine::installed()) {
+      return health->status_json();
+    }
+    return std::string("{\"enabled\":false}");
+  });
 }
 
 void attach_replay_status(obs::StatusServer& server,
-                          std::shared_ptr<const ReplayResult> replay) {
+                          std::shared_ptr<const ReplayResult> replay,
+                          std::shared_ptr<const std::string> alerts_json) {
   core::TriMatchResult tri;
   const auto counts = replay->store.counts();
   if (counts.jobs > 0 || counts.transfers > 0) {
@@ -310,6 +321,10 @@ void attach_replay_status(obs::StatusServer& server,
   server.set_json_endpoint("/api/series", [series] { return *series; });
   server.set_json_endpoint("/api/critical-path",
                            [critical] { return *critical; });
+  server.set_json_endpoint("/api/alerts", [alerts_json] {
+    if (alerts_json != nullptr) return *alerts_json;
+    return std::string("{\"enabled\":false}");
+  });
 }
 
 }  // namespace pandarus::analysis

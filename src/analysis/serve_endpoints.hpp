@@ -37,7 +37,12 @@ void attach_live_status(obs::StatusServer& server);
 
 /// Registers the same endpoints precomputed from a finished replay
 /// (`pandarus-serve --replay <file>`): bodies are built once here.
+/// `alerts_json` — a HealthEngine::status_json() document derived from
+/// the same stream (analysis::derive_health) — backs /api/alerts when
+/// provided; without it the endpoint reports {"enabled":false}.
 void attach_replay_status(obs::StatusServer& server,
-                          std::shared_ptr<const ReplayResult> replay);
+                          std::shared_ptr<const ReplayResult> replay,
+                          std::shared_ptr<const std::string> alerts_json =
+                              nullptr);
 
 }  // namespace pandarus::analysis

@@ -7,6 +7,7 @@
 
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -408,6 +409,10 @@ void TransferEngine::breaker_on_result(LinkState& ls, bool attempt_failed) {
                     .field("consecutive_failures", ls.consecutive_failures)
                     .field("open_until", ls.open_until));
     }
+    if (obs::HealthEngine* health = obs::HealthEngine::installed()) {
+      health->on_breaker(scheduler_.now(), ls.key.src, ls.key.dst,
+                         /*open=*/true);
+    }
   } else {
     ls.consecutive_failures = 0;
     if (ls.breaker == LinkState::Breaker::kClosed) return;
@@ -423,6 +428,10 @@ void TransferEngine::breaker_on_result(LinkState& ls, bool attempt_failed) {
                     .field("state", "closed")
                     .field("consecutive_failures", std::uint32_t{0})
                     .field("open_until", util::SimTime{0}));
+    }
+    if (obs::HealthEngine* health = obs::HealthEngine::installed()) {
+      health->on_breaker(scheduler_.now(), ls.key.src, ls.key.dst,
+                         /*open=*/false);
     }
   }
 }
@@ -604,6 +613,11 @@ void TransferEngine::finalize(std::unique_ptr<Active> active, bool success) {
                   .field("attempts", outcome.attempts)
                   .field("registered", outcome.replica_registered)
                   .field("error", transfer_error_name(outcome.error)));
+  }
+  if (obs::HealthEngine* health = obs::HealthEngine::installed()) {
+    health->on_transfer_terminal(outcome.finished_at, outcome.success,
+                                 transfer_error_name(outcome.error),
+                                 outcome.finished_at - outcome.submitted_at);
   }
   if (obs::FlowTracker* flows = obs::FlowTracker::installed()) {
     flows->attempt_end(outcome.transfer_id, outcome.finished_at,

@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "obs/colstore.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process.hpp"
 #include "obs/serve.hpp"
@@ -21,10 +23,12 @@ std::string g_trace_path;
 std::string g_events_path;
 std::string g_events_col_path;
 std::string g_flows_path;
+std::string g_alerts_path;
 TraceRecorder* g_env_recorder = nullptr;
 EventLog* g_env_event_log = nullptr;
 FlowTracker* g_env_flow_tracker = nullptr;
 StatusServer* g_env_status_server = nullptr;
+HealthEngine* g_env_health_engine = nullptr;
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -74,6 +78,11 @@ void dump_at_exit() {
   if (g_env_flow_tracker != nullptr && !g_flows_path.empty()) {
     g_env_flow_tracker->write_collapsed(g_flows_path);
   }
+  if (g_env_health_engine != nullptr && !g_alerts_path.empty()) {
+    // After the log close above, detectors have quiesced; the dump is
+    // the same document /api/alerts served.
+    write_text_file(g_alerts_path, g_env_health_engine->status_json());
+  }
 }
 
 bool install_once() {
@@ -83,8 +92,10 @@ bool install_once() {
   const char* events_col = std::getenv("PANDARUS_EVENTS_COL");
   const char* flows = std::getenv("PANDARUS_FLOWS");
   const char* serve = std::getenv("PANDARUS_SERVE");
+  const char* alerts = std::getenv("PANDARUS_ALERTS");
   if (metrics == nullptr && trace == nullptr && events == nullptr &&
-      events_col == nullptr && flows == nullptr && serve == nullptr) {
+      events_col == nullptr && flows == nullptr && serve == nullptr &&
+      alerts == nullptr) {
     return false;
   }
   if (metrics != nullptr) g_metrics_path = metrics;
@@ -144,6 +155,16 @@ bool install_once() {
     g_flows_path = flows;
     g_env_flow_tracker = new FlowTracker();
     g_env_flow_tracker->install();
+  }
+  if (alerts != nullptr) {
+    // The value is the status_json dump path; "" or "1" arms the
+    // detectors without a dump.  Leaked like the recorder: transfer
+    // feeds may fire during static destruction of a campaign scope.
+    if (alerts[0] != '\0' && std::string_view(alerts) != "1") {
+      g_alerts_path = alerts;
+    }
+    g_env_health_engine = new HealthEngine();
+    g_env_health_engine->install();
   }
   if (serve != nullptr) {
     // Leaked like the others; dump_at_exit stops it before any dump

@@ -10,6 +10,7 @@
 #include <functional>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace pandarus::obs {
@@ -48,6 +49,36 @@ bool parse_fsync_policy(std::string_view spec, FsyncConfig& out) {
     }
   }
   return false;
+}
+
+void export_event_log_metrics() {
+  EventLog* log = EventLog::installed();
+  if (log == nullptr) return;
+  Registry& registry = Registry::global();
+  registry
+      .gauge("pandarus_events_written",
+             "Events accepted into the installed log")
+      .set(static_cast<std::int64_t>(log->events_written()));
+  registry
+      .gauge("pandarus_events_dropped",
+             "Events past the max_events bound (silently missing)")
+      .set(static_cast<std::int64_t>(log->dropped()));
+  registry
+      .gauge("pandarus_events_bytes_written",
+             "NDJSON bytes the accepted events serialize to")
+      .set(static_cast<std::int64_t>(log->bytes_written()));
+  registry
+      .gauge("pandarus_events_io_errors",
+             "Short writes / failed fsyncs seen by any sink path")
+      .set(static_cast<std::int64_t>(log->io_errors()));
+  registry
+      .gauge("pandarus_events_fsyncs",
+             "Successful fsyncs issued under the active policy")
+      .set(static_cast<std::int64_t>(log->fsyncs()));
+  registry
+      .gauge("pandarus_events_watermark",
+             "Publication watermark of the installed log")
+      .set(static_cast<std::int64_t>(log->watermark()));
 }
 
 namespace detail {
@@ -210,6 +241,18 @@ void EventLog::emit(Event event) {
   }
   event.line_ += '}';
   bytes_.fetch_add(event.line_.size() + 1, std::memory_order_relaxed);
+  Buffer& buffer = local_buffer();
+  buffer.staged.push_back(
+      {next_seq_.fetch_add(1, std::memory_order_relaxed),
+       std::move(event.line_)});
+  if (buffer.staged.size() >= kDrainBatch) {
+    std::scoped_lock lock(mutex_);
+    drain_locked(buffer);
+  }
+}
+
+void EventLog::emit_sideband(Event event) {
+  event.line_ += '}';
   Buffer& buffer = local_buffer();
   buffer.staged.push_back(
       {next_seq_.fetch_add(1, std::memory_order_relaxed),

@@ -64,6 +64,13 @@ struct FsyncConfig {
 /// a malformed spec, leaving `out` unchanged.
 bool parse_fsync_policy(std::string_view spec, FsyncConfig& out);
 
+/// Mirrors the installed log's durability counters (events written /
+/// dropped / bytes, io_errors, fsyncs, watermark) into
+/// `pandarus_events_*` registry gauges so /metrics scrapes and metric
+/// dumps carry them; no-op without an installed log.  Gauges never
+/// touch the event stream, so this is determinism-neutral.
+void export_event_log_metrics();
+
 /// Builder for one event line.  The constructor writes the common
 /// prefix (`ts`, `kind`, `entity`); field() appends one key/value pair
 /// per call.  Strings are JSON-escaped; doubles are rendered finite and
@@ -112,6 +119,14 @@ class EventLog {
   /// Finalizes the event's line and appends it to this thread's staging
   /// buffer (draining to the central sink when the buffer fills).
   void emit(Event event);
+
+  /// Sideband emit: the line rides the stream (same ordering, same
+  /// sinks) but bypasses the max_events bound and the accepted/bytes
+  /// accounting, exactly like the terminal log_stats line.  Used for
+  /// derived annotations (HealthEngine `alert` events) so a run with
+  /// them armed keeps every self-describing counter — including the
+  /// log_stats line itself — byte-identical to a run without.
+  void emit_sideband(Event event);
 
   /// Finalizes the stream: appends one terminal `log_stats` event
   /// (events written, dropped, bytes — describing the stream *before*

@@ -25,6 +25,10 @@ void Sampler::add_emitter(Emitter emitter) {
   emitters_.push_back(std::move(emitter));
 }
 
+void Sampler::set_row_observer(RowObserver observer) {
+  row_observer_ = std::move(observer);
+}
+
 void Sampler::sample_at(std::int64_t ts) {
   Row row;
   row.ts = ts;
@@ -40,6 +44,7 @@ void Sampler::sample_at(std::int64_t ts) {
     }
     log->emit(std::move(event));
   }
+  if (row_observer_) row_observer_(ts, names_, row.values);
   rows_.push_back(std::move(row));
 
   for (const Emitter& emitter : emitters_) emitter(ts);

@@ -28,6 +28,13 @@ class Sampler {
   /// Free-form per-tick emitter (receives the sample's simulated time);
   /// used for variable-arity outputs like per-link samples.
   using Emitter = std::function<void(std::int64_t ts)>;
+  /// Observes the completed row (names parallel to values) right after
+  /// the "sample" event is emitted and before the emitters run — the
+  /// same position the row occupies in the NDJSON stream, so a consumer
+  /// fed here (obs::HealthEngine) sees rows in stream order.
+  using RowObserver = std::function<void(
+      std::int64_t ts, const std::vector<std::string>& names,
+      const std::vector<std::int64_t>& values)>;
 
   explicit Sampler(std::int64_t interval_ms) : interval_ms_(interval_ms) {}
 
@@ -37,6 +44,7 @@ class Sampler {
   /// Column named after the gauge, sampling its current value.
   void add_gauge(const Gauge& gauge);
   void add_emitter(Emitter emitter);
+  void set_row_observer(RowObserver observer);
 
   /// Evaluates every probe at simulated time `ts`, retains the row,
   /// emits a "sample" event (entity = tick index, one field per column)
@@ -63,6 +71,7 @@ class Sampler {
   std::vector<std::string> names_;
   std::vector<Probe> probes_;
   std::vector<Emitter> emitters_;
+  RowObserver row_observer_;
   std::vector<Row> rows_;
 };
 

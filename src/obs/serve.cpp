@@ -3,6 +3,7 @@
 #include <string_view>
 
 #include "obs/event_log.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process.hpp"
 #include "util/log.hpp"
@@ -38,9 +39,13 @@ constexpr std::string_view kStatusPage = R"html(<!doctype html>
  <span class="pill" id="health">connecting…</span>
  <span class="pill" id="watermark">watermark —</span>
  <span class="pill" id="events">events —</span>
+ <span class="pill" id="alerts">alerts —</span>
 </div>
 <div id="bar"><div id="fill"></div></div>
 <div id="progress"></div>
+<h2>Health <small>(<code>/api/alerts</code>)</small></h2>
+<table id="alerttbl"><tbody><tr><td>no health engine armed</td></tr></tbody></table>
+<table id="slos"><tbody></tbody></table>
 <h2>Campaign summary <small>(<code>/api/summary</code>)</small></h2>
 <table id="summary"><tbody><tr><td>waiting for data…</td></tr></tbody></table>
 <h2>Matched jobs by method</h2>
@@ -75,6 +80,18 @@ async function refresh() {
       [['link', 'critical ms', 'flows']].concat(
         c.links.slice(0, 10).map(l =>
           [`${l.src_name} → ${l.dst_name}`, l.critical_ms, l.flows])));
+    const a = await (await fetch('/api/alerts')).json();
+    if (a.enabled !== false) {
+      const all = (a.alerts || []).concat((a.resolved || []).slice(-5));
+      rows(document.getElementById('alerttbl'),
+        [['detector', 'entity', 'phase', 'severity', 'value']].concat(
+          all.map(x =>
+            [x.detector, x.entity, x.phase, x.severity, x.value])));
+      rows(document.getElementById('slos'),
+        [['SLO', 'target', 'good', 'bad', 'burn fast', 'burn slow']].concat(
+          (a.slos || []).map(s =>
+            [s.name, s.target, s.good, s.bad, s.burn_fast, s.burn_slow])));
+    }
   } catch (e) {
     document.getElementById('progress').innerHTML =
       `<span class="err">${e}</span>`;
@@ -88,6 +105,12 @@ es.addEventListener('tick', ev => {
   document.getElementById('events').textContent =
     'events ' + fmt(t.events_written) +
     (t.dropped ? ` (dropped ${fmt(t.dropped)})` : '');
+  if ('alerts_firing' in t) {
+    const el = document.getElementById('alerts');
+    el.textContent = `alerts ${fmt(t.alerts_firing)} firing / ` +
+      `${fmt(t.alerts_pending)} pending / ${fmt(t.alerts_resolved)} resolved`;
+    el.style.background = t.alerts_firing ? '#fecaca' : '#bbf7d0';
+  }
   if (t.window_end_ms > 0) {
     const pct = Math.min(100, 100 * t.sim_now_ms / t.window_end_ms);
     document.getElementById('fill').style.width = pct + '%';
@@ -185,8 +208,11 @@ HttpResponse StatusServer::handle(const HttpRequest& request) {
   }
   if (request.path == "/metrics") {
     // Refresh RSS/fds/uptime so every scrape self-describes the
-    // process it came from.
+    // process it came from, and mirror the event log's durability
+    // counters (written/dropped/io_errors/fsyncs) into gauges so a
+    // full disk is scrapeable, not just visible in /healthz.
     sample_process_metrics();
+    export_event_log_metrics();
     return {200, "text/plain; version=0.0.4; charset=utf-8",
             export_prometheus(), nullptr};
   }
@@ -228,6 +254,12 @@ HttpResponse StatusServer::events_stream() const {
                                        "pandarus_campaign_sim_now_ms"));
       data += ",\"window_end_ms\":" + std::to_string(snap.gauge_value(
                                           "pandarus_campaign_window_end_ms"));
+      if (const HealthEngine* health = HealthEngine::installed()) {
+        const HealthEngine::Counts counts = health->counts();
+        data += ",\"alerts_firing\":" + std::to_string(counts.active_firing);
+        data += ",\"alerts_pending\":" + std::to_string(counts.active_pending);
+        data += ",\"alerts_resolved\":" + std::to_string(counts.resolved);
+      }
       data += "}\n\n";
       if (!stream.write(data)) return;
     } while (stream.sleep_ms(interval_ms));

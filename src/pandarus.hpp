@@ -23,8 +23,10 @@
 #include "analysis/critical_path.hpp"
 #include "analysis/event_source.hpp"
 #include "analysis/events_replay.hpp"
+#include "analysis/health_replay.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/imbalance.hpp"
+#include "analysis/metric_query.hpp"
 #include "analysis/report.hpp"
 #include "analysis/report_html.hpp"
 #include "analysis/serve_endpoints.hpp"
@@ -57,6 +59,7 @@
 #include "obs/env.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
+#include "obs/health.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process.hpp"

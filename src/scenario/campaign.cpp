@@ -13,6 +13,7 @@
 #include "fault/injector.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/serve.hpp"
@@ -279,12 +280,15 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
     deletion.start(result.window_end);
   }
 
-  // Periodic time-series sampling, only when an event log is installed:
-  // probes are read-only and consume no simulation RNG, so a sampled run
-  // is bit-identical to an unsampled one.  Ticks are pre-scheduled like
-  // the carousel waves, so no event outlives this scope.
+  // Periodic time-series sampling, only when an event log or health
+  // engine is installed: probes are read-only and consume no simulation
+  // RNG, so a sampled run is bit-identical to an unsampled one.  Ticks
+  // are pre-scheduled like the carousel waves, so no event outlives
+  // this scope.
   std::optional<obs::Sampler> sampler;
-  if (obs::EventLog::installed() != nullptr && config.sample_interval_ms > 0) {
+  if ((obs::EventLog::installed() != nullptr ||
+       obs::HealthEngine::installed() != nullptr) &&
+      config.sample_interval_ms > 0) {
     sampler.emplace(config.sample_interval_ms);
     sampler->add_column("jobs_queued", [&queues] {
       return static_cast<std::int64_t>(queues.total_queued());
@@ -310,6 +314,14 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
     sampler->add_column("sim_events_processed", [&scheduler] {
       return static_cast<std::int64_t>(scheduler.processed_count());
     });
+    // Telemetry self-audit: the stream's own drop counter rides in the
+    // stream, so the health engine's event-drop watchdog works from
+    // the sampled series alone (live and in replay).
+    sampler->add_column("events_dropped", [] {
+      obs::EventLog* log = obs::EventLog::installed();
+      return log != nullptr ? static_cast<std::int64_t>(log->dropped())
+                            : std::int64_t{0};
+    });
     // Fault/recovery health: live fault windows and open breakers show
     // up alongside queue depth in the sampled series.
     sampler->add_gauge(obs::Registry::global().gauge(
@@ -324,25 +336,47 @@ ScenarioResult run_campaign(const ScenarioConfig& config) {
         "Transfer candidates scanned by the matcher"));
     sampler->add_counter(obs::Registry::global().counter(
         "pandarus_match_jobs_matched_total", "Jobs matched to a transfer"));
-    // Per-link load: one link_sample event per currently active link.
+    // The health engine consumes the same row the "sample" event
+    // carries, at the same stream position, so its detectors see
+    // identical sequences live and in replay.
+    if (obs::HealthEngine::installed() != nullptr) {
+      sampler->set_row_observer(
+          [](std::int64_t ts, const std::vector<std::string>& names,
+             const std::vector<std::int64_t>& values) {
+            if (obs::HealthEngine* health = obs::HealthEngine::installed()) {
+              health->on_sample(ts, names, values);
+            }
+          });
+    }
+    // Per-link load: one link_sample event per currently active link,
+    // mirrored into the health engine's link-utilization detector.
     sampler->add_emitter([&engine, &result](std::int64_t ts) {
       obs::EventLog* log = obs::EventLog::installed();
-      if (log == nullptr) return;
+      obs::HealthEngine* health = obs::HealthEngine::installed();
+      if (log == nullptr && health == nullptr) return;
       for (const dms::TransferEngine::LinkProbe& p : engine.probe_links()) {
         const double cap =
             result.topology.link(p.key.src, p.key.dst).effective_capacity(ts);
-        log->emit(
-            obs::Event("link_sample", ts,
-                       static_cast<std::int64_t>(
-                           (static_cast<std::uint64_t>(p.key.src) << 32) |
-                           p.key.dst))
-                .field("src", p.key.src)
-                .field("dst", p.key.dst)
-                .field("active", p.active)
-                .field("queued", p.queued)
-                .field("bytes_in_flight", p.bytes_in_flight)
-                .field("rate_bps", p.rate_bps)
-                .field("utilization", cap > 0.0 ? p.rate_bps / cap : 0.0));
+        const double utilization = cap > 0.0 ? p.rate_bps / cap : 0.0;
+        if (log != nullptr) {
+          log->emit(
+              obs::Event("link_sample", ts,
+                         static_cast<std::int64_t>(
+                             (static_cast<std::uint64_t>(p.key.src) << 32) |
+                             p.key.dst))
+                  .field("src", p.key.src)
+                  .field("dst", p.key.dst)
+                  .field("active", p.active)
+                  .field("queued", p.queued)
+                  .field("bytes_in_flight", p.bytes_in_flight)
+                  .field("rate_bps", p.rate_bps)
+                  .field("utilization", utilization));
+        }
+        if (health != nullptr) {
+          health->on_link_sample(ts, p.key.src, p.key.dst,
+                                 static_cast<std::int64_t>(p.queued),
+                                 utilization);
+        }
       }
     });
     obs::Sampler& ticks = *sampler;

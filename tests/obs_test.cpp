@@ -7,13 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/relaxed.hpp"
 #include "json_validator.hpp"
 #include "obs/env.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scenario/campaign.hpp"
@@ -335,6 +338,98 @@ TEST(ObsDeterminism, InstrumentedRunMatchesUninstrumentedRun) {
 
   EXPECT_EQ(plain, traced);
   EXPECT_GT(recorder.event_count(), 0u);
+}
+
+// --- sampler edge cases -----------------------------------------------------
+
+TEST(ObsSampler, ZeroDayCampaignProducesNoRowsAndNoCrash) {
+  obs::EventLog log;
+  log.install();
+  scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+  config.days = 0.0;
+  const scenario::ScenarioResult result = scenario::run_campaign(config);
+  log.uninstall();
+  log.close();
+  EXPECT_TRUE(result.drained);
+  // A zero-length window schedules no sampler ticks: the stream holds
+  // no "sample" events, but the envelope events are still there.
+  const std::string ndjson = log.to_ndjson();
+  EXPECT_EQ(ndjson.find("\"kind\":\"sample\""), std::string::npos);
+  EXPECT_NE(ndjson.find("\"kind\":\"campaign_meta\""), std::string::npos);
+}
+
+TEST(ObsSampler, NeverTickingSeriesStaysFlatZero) {
+  obs::Registry registry;
+  obs::Counter& silent = registry.counter("never_ticks_total");
+  obs::Sampler sampler(1000);
+  sampler.add_counter(silent);
+  for (int i = 0; i < 5; ++i) sampler.sample_at(1000 * (i + 1));
+  ASSERT_EQ(sampler.rows().size(), 5u);
+  for (const auto& row : sampler.rows()) {
+    ASSERT_EQ(row.values.size(), 1u);
+    EXPECT_EQ(row.values[0], 0);
+  }
+}
+
+TEST(ObsSampler, ColumnsAddedAfterSamplingStartsWidenLaterRows) {
+  obs::Registry registry;
+  obs::Counter& early = registry.counter("early_total");
+  obs::Sampler sampler(1000);
+  sampler.add_counter(early);
+  early.inc(3);
+  sampler.sample_at(1000);
+
+  // A counter registered after the first tick: earlier rows keep their
+  // narrower shape; later rows and events carry the new column.
+  obs::Counter& late = registry.counter("late_total");
+  sampler.add_counter(late);
+  late.inc(7);
+  sampler.sample_at(2000);
+
+  ASSERT_EQ(sampler.columns().size(), 2u);
+  ASSERT_EQ(sampler.rows().size(), 2u);
+  EXPECT_EQ(sampler.rows()[0].values,
+            (std::vector<std::int64_t>{3}));
+  EXPECT_EQ(sampler.rows()[1].values,
+            (std::vector<std::int64_t>{3, 7}));
+}
+
+TEST(ObsSampler, RowObserverSeesRowsInStreamOrder) {
+  obs::Registry registry;
+  obs::Counter& jobs = registry.counter("jobs_total");
+  obs::Sampler sampler(1000);
+  sampler.add_counter(jobs);
+
+  struct Seen {
+    std::int64_t ts;
+    std::vector<std::string> names;
+    std::vector<std::int64_t> values;
+  };
+  std::vector<Seen> seen;
+  std::vector<std::int64_t> emitter_ts;
+  sampler.set_row_observer(
+      [&seen](std::int64_t ts, const std::vector<std::string>& names,
+              const std::vector<std::int64_t>& values) {
+        seen.push_back({ts, names, values});
+      });
+  sampler.add_emitter([&emitter_ts, &seen](std::int64_t ts) {
+    // Emitters run after the observer — the stream order the health
+    // engine depends on (sample row first, then per-link events).
+    EXPECT_EQ(seen.back().ts, ts);
+    emitter_ts.push_back(ts);
+  });
+
+  jobs.inc(2);
+  sampler.sample_at(1000);
+  jobs.inc(3);
+  sampler.sample_at(2000);
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].ts, 1000);
+  EXPECT_EQ(seen[0].names, (std::vector<std::string>{"jobs_total"}));
+  EXPECT_EQ(seen[0].values, (std::vector<std::int64_t>{2}));
+  EXPECT_EQ(seen[1].values, (std::vector<std::int64_t>{5}));
+  EXPECT_EQ(emitter_ts, (std::vector<std::int64_t>{1000, 2000}));
 }
 
 }  // namespace

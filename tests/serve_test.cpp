@@ -32,6 +32,7 @@
 #include "json_validator.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flow.hpp"
+#include "obs/health.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process.hpp"
@@ -413,6 +414,51 @@ TEST(ServeEndpoints, ReplayModeServesPrecomputedBodies) {
   EXPECT_GT(parsed->get_int("jobs"), 0);
   EXPECT_EQ(parsed->get_int("watermark"),
             static_cast<std::int64_t>(replay->lines_parsed));
+  server.stop();
+}
+
+TEST(ServeEndpoints, AlertsEndpointServesLiveEngineState) {
+  obs::Registry::global().reset_for_test();
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start());
+  server.install();
+
+  // No engine installed: the endpoint reports itself disabled.
+  analysis::attach_live_status(server);
+  const std::string disabled = body_of(http_get(server.port(), "/api/alerts"));
+  EXPECT_EQ(disabled, "{\"enabled\":false}");
+
+  obs::HealthEngine engine;
+  engine.install();
+  scenario::ScenarioConfig config = scenario::ScenarioConfig::small();
+  config.days = 0.25;
+  config.seed = 20250401;
+  config.faults.intensity = 2.0;
+  config.with_self_healing();
+  std::ignore = scenario::run_campaign(config);
+
+  const std::string body = body_of(http_get(server.port(), "/api/alerts"));
+  ASSERT_TRUE(testing::JsonValidator(body).valid()) << body;
+  EXPECT_EQ(body, engine.status_json());
+  const auto parsed = util::json::parse(body);
+  ASSERT_TRUE(parsed.has_value());
+  const util::json::Value* counts = parsed->find("counts");
+  ASSERT_NE(counts, nullptr);
+  EXPECT_GE(counts->get_int("fired"), 1);
+
+  engine.uninstall();
+  server.uninstall();
+  server.stop();
+}
+
+TEST(ServeEndpoints, ReplayAlertsServePrecomputedDocument) {
+  obs::StatusServer server;
+  ASSERT_TRUE(server.start());
+  auto replay = std::make_shared<const analysis::ReplayResult>();
+  auto alerts = std::make_shared<const std::string>(
+      "{\"counts\":{\"observations\":0},\"alerts\":[]}");
+  analysis::attach_replay_status(server, replay, alerts);
+  EXPECT_EQ(body_of(http_get(server.port(), "/api/alerts")), *alerts);
   server.stop();
 }
 
